@@ -1,0 +1,45 @@
+"""Benchmark reproducing Fig. 3: PEHE vs bias rate on Syn_16_16_16_2.
+
+The paper plots, for every method, the PEHE over the eight test environments
+(all models trained on rho = 2.5).  The headline shape: curves rise as rho
+moves away from 2.5, with the vanilla baselines rising fastest and the
++SBRL-HAP variants flattest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import figure3_pehe_curves
+
+
+def test_fig3_pehe_curves(benchmark, scale):
+    figure = benchmark.pedantic(
+        figure3_pehe_curves,
+        kwargs={"scale": scale, "dims": (16, 16, 16, 2)},
+        iterations=1,
+        rounds=1,
+    )
+    print("\n" + figure.text)
+
+    assert len(figure.series) == 9
+    for name, series in figure.series.items():
+        values = np.array(list(series.values()))
+        assert np.isfinite(values).all() and (values >= 0).all()
+
+    # Shape check: the vanilla baselines degrade from the in-distribution
+    # environment (rho=2.5) to the farthest OOD environment (rho=-3).
+    for method in ("TARNet", "CFR", "DeR-CFR"):
+        series = figure.series[method]
+        assert series["rho=-3"] > series["rho=2.5"]
+
+    # Shape check: the degradation (relative PEHE increase from rho=2.5 to
+    # rho=-3) of the best stabilised CFR variant does not exceed that of the
+    # vanilla CFR baseline.
+    def degradation(series):
+        return (series["rho=-3"] - series["rho=2.5"]) / max(series["rho=2.5"], 1e-9)
+
+    cfr = degradation(figure.series["CFR"])
+    stabilised = min(degradation(figure.series["CFR+SBRL"]), degradation(figure.series["CFR+SBRL-HAP"]))
+    assert stabilised <= cfr * 1.15

@@ -1,0 +1,40 @@
+"""Benchmark reproducing Fig. 4: F1-score stability across environments.
+
+The paper reports the mean and standard deviation of the factual and
+counterfactual F1 scores across the eight test environments of
+Syn_16_16_16_2.  The headline claim: the +SBRL-HAP variants reduce the
+standard deviation (higher stability) relative to the vanilla baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import figure4_f1_stability
+
+
+def test_fig4_f1_stability(benchmark, scale):
+    figure = benchmark.pedantic(
+        figure4_f1_stability,
+        kwargs={"scale": scale, "dims": (16, 16, 16, 2)},
+        iterations=1,
+        rounds=1,
+    )
+    print("\n" + figure.text)
+
+    assert len(figure.series) == 9
+    for series in figure.series.values():
+        assert 0.0 <= series["f1_factual_mean"] <= 1.0
+        assert 0.0 <= series["f1_counterfactual_mean"] <= 1.0
+        assert series["f1_factual_std"] >= 0.0
+        assert series["f1_counterfactual_std"] >= 0.0
+
+    # Shape check: stabilised CFR variants should not be substantially less
+    # stable (higher std) than the vanilla CFR baseline.
+    cfr_std = figure.series["CFR"]["f1_factual_std"]
+    best_stabilised_std = min(
+        figure.series["CFR+SBRL"]["f1_factual_std"],
+        figure.series["CFR+SBRL-HAP"]["f1_factual_std"],
+    )
+    assert best_stabilised_std <= cfr_std * 1.25 + 1e-3

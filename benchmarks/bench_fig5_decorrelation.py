@@ -1,0 +1,37 @@
+"""Benchmark reproducing Fig. 5: feature decorrelation of the representation.
+
+The paper samples 25 dimensions of the balanced representation learned by
+CFR, CFR+SBRL and CFR+SBRL-HAP on Syn_16_16_16_2 and reports the average
+pairwise HSIC-RFF: 0.85, 0.64 and 0.58 respectively — the frameworks
+progressively decorrelate the representation.  Absolute values depend on the
+representation scale, so the reproduction reports the same statistic and
+checks that the learned representations remain finite and comparable, and
+that the stabilised variants do not *increase* correlation dramatically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import figure5_decorrelation
+
+
+def test_fig5_decorrelation(benchmark, scale):
+    figure = benchmark.pedantic(
+        figure5_decorrelation,
+        kwargs={"scale": scale, "dims": (16, 16, 16, 2), "max_dims": 25},
+        iterations=1,
+        rounds=1,
+    )
+    print("\n" + figure.text)
+
+    assert set(figure.series) == {"CFR", "CFR+SBRL", "CFR+SBRL-HAP"}
+    values = {name: series["mean_pairwise_hsic_rff"] for name, series in figure.series.items()}
+    for value in values.values():
+        assert np.isfinite(value) and value >= 0.0
+
+    # Shape check: the stabilised variants' representation correlation stays
+    # within a factor of the vanilla CFR's (the paper reports a decrease;
+    # at reduced scale we accept parity but not an explosion).
+    assert values["CFR+SBRL-HAP"] <= 4.0 * values["CFR"] + 1e-6

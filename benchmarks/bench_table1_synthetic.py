@@ -1,0 +1,47 @@
+"""Benchmark reproducing Table I: treatment-effect estimation on Syn_8_8_8_2.
+
+The paper trains every method on the rho = 2.5 population and evaluates PEHE
+and the ATE bias on eight test environments with bias rates in
+{-3, -2.5, -1.5, -1.3, 1.3, 1.5, 2.5, 3}.  The headline claims are:
+
+* every vanilla method degrades as the test environment moves away from the
+  training environment (rho decreasing from 2.5 to -3);
+* +SBRL and especially +SBRL-HAP counteract that degradation, with the
+  largest PEHE reduction on the farthest environments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.tables import table1_synthetic
+
+
+def _pehe_rows(table):
+    return [row for row in table.rows if row["metric"] == "pehe"]
+
+
+def test_table1_synthetic(benchmark, scale):
+    table = benchmark.pedantic(
+        table1_synthetic,
+        kwargs={"scale": scale, "dims": (8, 8, 8, 2)},
+        iterations=1,
+        rounds=1,
+    )
+    print("\n" + table.text)
+
+    pehe_rows = {row["method"]: row for row in _pehe_rows(table)}
+    assert {"TARNet", "CFR", "DeR-CFR", "CFR+SBRL", "CFR+SBRL-HAP"} <= set(pehe_rows)
+
+    # Shape check 1: vanilla methods degrade under distribution shift
+    # (PEHE on the farthest OOD environment exceeds PEHE in-distribution).
+    for method in ("TARNet", "CFR", "DeR-CFR"):
+        row = pehe_rows[method]
+        assert row["rho=-3"] > row["rho=2.5"], f"{method} should degrade on OOD data"
+
+    # Shape check 2: every metric is finite and non-negative.
+    for row in table.rows:
+        for key, value in row.items():
+            if key.startswith("rho="):
+                assert np.isfinite(value) and value >= 0

@@ -1,0 +1,41 @@
+"""Benchmark reproducing Table II: ablation of BR / IR / HAP on Syn_16_16_16_2.
+
+The paper removes one sub-module at a time from CFR+SBRL-HAP and reports the
+PEHE in-distribution (rho = 2.5) and on the farthest OOD environment
+(rho = -3).  The claim is that every component is needed: each ablated
+variant loses accuracy on the OOD population relative to the full model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.tables import table2_ablation
+
+
+def test_table2_ablation(benchmark, scale):
+    table = benchmark.pedantic(
+        table2_ablation,
+        kwargs={"scale": scale, "dims": (16, 16, 16, 2)},
+        iterations=1,
+        rounds=1,
+    )
+    print("\n" + table.text)
+
+    assert len(table.rows) == 4
+    by_variant = {row["variant"]: row for row in table.rows}
+    full = by_variant["BR+IR+HAP (full)"]
+    ood_key = [key for key in full if key.startswith("pehe_ood")][0]
+    id_key = [key for key in full if key.startswith("pehe_id")][0]
+
+    for row in table.rows:
+        assert np.isfinite(row[ood_key]) and row[ood_key] >= 0
+        assert np.isfinite(row[id_key]) and row[id_key] >= 0
+
+    # Shape check: the full model is competitive on OOD data — it should not
+    # be more than 10 % worse than the best ablated variant.
+    best_ablated = min(
+        row[ood_key] for name, row in by_variant.items() if name != "BR+IR+HAP (full)"
+    )
+    assert full[ood_key] <= 1.10 * best_ablated

@@ -1,0 +1,29 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures.  The scale
+is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
+
+* ``smoke``   — seconds per benchmark (CI smoke run),
+* ``default`` — minutes per benchmark (laptop reproduction; the default),
+* ``paper``   — the paper's sample sizes and iteration counts (hours).
+
+Every benchmark prints the reproduced table / figure so that
+``pytest benchmarks/ --benchmark-only`` leaves a full textual record in
+``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> str:
+    """Benchmark scale selected through the environment (default: 'default')."""
+    return os.environ.get("REPRO_BENCH_SCALE", "default")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()

@@ -1,0 +1,104 @@
+"""Healthcare scenario: will a treatment-effect model trained on urban
+hospital records generalise to a rural population?
+
+This mirrors the motivating example of the paper's introduction (Fig. 1):
+a causal model is trained on observational data from one environment
+("urban hospitals"), then applied to a population with a different covariate
+distribution ("rural villages").  The example demonstrates
+
+* how to quantify the covariate shift between the populations,
+* how much a vanilla estimator degrades out of distribution,
+* how the SBRL-HAP framework and a classical IPW baseline compare,
+* how to inspect the learned sample weights.
+
+Run with::
+
+    python examples/healthcare_ood.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import HTEEstimator, SyntheticGenerator
+from repro.baselines import IPWEstimator, TLearner
+from repro.core.config import BackboneConfig, RegularizerConfig, SBRLConfig, TrainingConfig
+from repro.data import SyntheticConfig, covariate_shift_distance
+from repro.experiments import format_table
+
+
+def build_populations():
+    """'Urban' training data (rho=2.5) and a 'rural' OOD population (rho=-2.5).
+
+    The synthetic generator plays the role of the health system: covariates
+    are patient circumstances, the treatment is a drug prescription assigned
+    preferentially by (confounded) patient features, and the unstable
+    covariates are context features (e.g. distance to clinic) whose
+    correlation with outcomes differs between environments.
+    """
+    generator = SyntheticGenerator(
+        SyntheticConfig(num_instruments=8, num_confounders=8, num_adjustments=8, num_unstable=2, seed=13)
+    )
+    urban = generator.generate(1200, rho=2.5, seed=13)
+    rural = generator.generate(1200, rho=-2.5, seed=14)
+    return urban, rural
+
+
+def main() -> None:
+    urban, rural = build_populations()
+    shift = covariate_shift_distance(urban, rural)
+    print(f"Urban training population: n={len(urban)}, treated fraction={urban.treatment.mean():.2f}")
+    print(f"Rural target population:   n={len(rural)}, covariate shift distance={shift:.3f}")
+    print()
+
+    config = SBRLConfig(
+        backbone=BackboneConfig(rep_layers=3, rep_units=48, head_layers=3, head_units=24),
+        regularizers=RegularizerConfig(alpha=1e-3, gamma1=1.0, gamma2=1e-3, gamma3=1e-3,
+                                       max_pairs_per_layer=24),
+        training=TrainingConfig(iterations=150, learning_rate=1e-3, weight_update_every=10,
+                                weight_steps_per_iteration=3, weight_clip=(1e-3, 3.0),
+                                early_stopping_patience=None),
+    )
+
+    rows = []
+
+    # Neural estimators: vanilla CFR vs CFR+SBRL-HAP.
+    for name, framework in (("CFR (vanilla)", "vanilla"), ("CFR+SBRL-HAP", "sbrl-hap")):
+        estimator = HTEEstimator(backbone="cfr", framework=framework, config=config, seed=1)
+        estimator.fit(urban)
+        urban_metrics = estimator.evaluate(urban)
+        rural_metrics = estimator.evaluate(rural)
+        rows.append([name, urban_metrics["pehe"], rural_metrics["pehe"], rural_metrics["ate_error"]])
+        if framework == "sbrl-hap":
+            weights = estimator.sample_weights()
+            ess = weights.sum() ** 2 / np.sum(weights ** 2)
+            print(
+                f"SBRL-HAP sample weights: min={weights.min():.3f}, max={weights.max():.3f}, "
+                f"effective sample size={ess:.0f}/{len(weights)}"
+            )
+
+    # Classical baselines for reference.
+    for name, baseline in (("T-learner (ridge)", TLearner()), ("IPW (logistic+ridge)", IPWEstimator())):
+        baseline.fit(urban)
+        rows.append(
+            [name, baseline.evaluate(urban)["pehe"], baseline.evaluate(rural)["pehe"],
+             baseline.evaluate(rural)["ate_error"]]
+        )
+
+    print()
+    print(
+        format_table(
+            ["method", "PEHE (urban, ID)", "PEHE (rural, OOD)", "ATE bias (rural)"],
+            rows,
+            title="Healthcare OOD scenario",
+        )
+    )
+    print()
+    print(
+        "A model that looks accurate on the urban data can be unreliable for the rural\n"
+        "population; the SBRL-HAP reweighting targets exactly this failure mode."
+    )
+
+
+if __name__ == "__main__":
+    main()

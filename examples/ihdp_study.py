@@ -1,0 +1,72 @@
+"""IHDP study: continuous outcomes, small sample, OOD test split.
+
+Reproduces the paper's IHDP protocol (Section V.E) at example scale: the
+Infant Health and Development Program covariates with simulated continuous
+outcomes (response surface A), selection bias from the biased removal of
+treated units, and a 10 % biased test split on the continuous covariates.
+The example also runs the full 3x3 method grid of the paper on a single
+replication and prints a Table-III-style summary.
+
+Run with::
+
+    python examples/ihdp_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import BackboneConfig, RegularizerConfig, SBRLConfig, TrainingConfig
+from repro.data import IHDPConfig, IHDPSimulator
+from repro.experiments import MethodSpec, default_method_grid, format_table, run_method
+
+
+def main() -> None:
+    simulator = IHDPSimulator(IHDPConfig(seed=29))
+    replication = simulator.replication(0)
+    train, validation, test = replication.train, replication.validation, replication.test
+
+    print(f"IHDP replication: {len(train)} train / {len(validation)} validation / {len(test)} OOD test units")
+    print(f"Treated units in training split: {train.num_treated}")
+    print(f"True ATE (surface A is a constant effect): {train.true_ate:.2f}")
+    print()
+
+    config = SBRLConfig(
+        backbone=BackboneConfig(rep_layers=3, rep_units=48, head_layers=3, head_units=24),
+        regularizers=RegularizerConfig(alpha=1e-1, gamma1=1e-1, gamma2=1e-3, gamma3=1e-3,
+                                       max_pairs_per_layer=24),
+        training=TrainingConfig(iterations=200, learning_rate=3e-3, weight_update_every=10,
+                                weight_steps_per_iteration=3, early_stopping_patience=40),
+    )
+
+    environments = {"train": train, "validation": validation, "test": test}
+    rows = []
+    for spec in default_method_grid(config=config, seed=3):
+        result = run_method(spec, train, environments, validation)
+        rows.append(
+            [
+                result.name,
+                result.per_environment["train"]["pehe"],
+                result.per_environment["validation"]["pehe"],
+                result.per_environment["test"]["pehe"],
+                result.per_environment["test"]["ate_error"],
+                result.training_seconds,
+            ]
+        )
+
+    print(
+        format_table(
+            ["method", "PEHE train", "PEHE val", "PEHE test (OOD)", "ATE bias test", "fit seconds"],
+            rows,
+            title="IHDP, one replication (Table III protocol)",
+        )
+    )
+    print()
+    print(
+        "The test split is sampled with a bias on the continuous covariates, so the\n"
+        "PEHE on the test column is the out-of-distribution number the paper focuses on."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Marketing uplift scenario: estimating campaign effects that transfer
+across customer populations.
+
+A streaming service runs a promotional campaign (the treatment) and wants to
+know for which customers it increases retention (the outcome).  The campaign
+was logged on last year's customer base (weekday-heavy, urban-skewed
+traffic); the business question is about next season's customer mix.  This
+is the Twins-style setup of the paper: binary outcome, strong selection bias
+in who received the promotion, and a shifted target population.
+
+The example uses the Twins simulator as the logged population (mortality ->
+churn, heavier twin -> promoted customer) because it has exactly the right
+statistical structure: ~5k units, 43 covariates of which a handful are
+unstable context features, binary outcomes with a small negative effect.
+
+Run with::
+
+    python examples/marketing_uplift.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import HTEEstimator
+from repro.core.config import BackboneConfig, RegularizerConfig, SBRLConfig, TrainingConfig
+from repro.data import TwinsConfig, TwinsSimulator, covariate_shift_distance
+from repro.experiments import format_table
+
+
+def main() -> None:
+    # The "logged campaign" population and its OOD target-season split.
+    simulator = TwinsSimulator(TwinsConfig(num_records=2500, bias_rate=-2.5, seed=23))
+    replication = simulator.replication(0)
+    train, validation, target = replication.train, replication.validation, replication.test
+
+    print(f"Logged campaign data: n={len(train)} (train) + {len(validation)} (validation)")
+    print(f"Target-season population: n={len(target)}")
+    print(f"Covariate shift (train -> target): {covariate_shift_distance(train, target):.3f}")
+    print(f"True uplift (ATE) on target population: {target.true_ate:+.4f}")
+    print()
+
+    config = SBRLConfig(
+        backbone=BackboneConfig(rep_layers=3, rep_units=48, head_layers=3, head_units=24),
+        regularizers=RegularizerConfig(alpha=1e-3, gamma1=1.0, gamma2=1e-1, gamma3=1e-2,
+                                       max_pairs_per_layer=24),
+        training=TrainingConfig(iterations=150, learning_rate=1e-3, weight_update_every=10,
+                                weight_steps_per_iteration=3, early_stopping_patience=30),
+    )
+
+    rows = []
+    for label, backbone, framework in (
+        ("TARNet", "tarnet", "vanilla"),
+        ("TARNet+SBRL", "tarnet", "sbrl"),
+        ("CFR+SBRL-HAP", "cfr", "sbrl-hap"),
+    ):
+        estimator = HTEEstimator(backbone=backbone, framework=framework, config=config, seed=2)
+        estimator.fit(train, validation)
+        metrics = estimator.evaluate(target)
+        predicted_ate = estimator.predict_ate(target.covariates)
+        rows.append(
+            [label, metrics["pehe"], metrics["ate_error"], predicted_ate, target.true_ate]
+        )
+
+    print(
+        format_table(
+            ["method", "PEHE (target)", "ATE bias (target)", "predicted uplift", "true uplift"],
+            rows,
+            title="Campaign uplift on the shifted target population",
+            float_format="{:.4f}",
+        )
+    )
+    print()
+
+    # Per-segment decision making: who should be targeted next season?
+    estimator = HTEEstimator(backbone="cfr", framework="sbrl-hap", config=config, seed=2)
+    estimator.fit(train, validation)
+    uplift = estimator.predict_ite(target.covariates)
+    targeted = uplift < 0  # negative effect on churn/mortality = beneficial promotion
+    print(
+        f"Customers with predicted beneficial uplift: {targeted.sum()} of {len(target)} "
+        f"({100.0 * targeted.mean():.1f} %)"
+    )
+    realised = target.true_ite[targeted].mean() if targeted.any() else float("nan")
+    print(f"Realised average effect within the targeted segment: {realised:+.4f}")
+
+
+if __name__ == "__main__":
+    main()

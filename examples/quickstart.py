@@ -1,0 +1,72 @@
+"""Quickstart: train SBRL-HAP on a synthetic OOD benchmark in ~30 seconds.
+
+This example mirrors the paper's core experiment at a small scale:
+
+1. generate a training population with bias rate rho = 2.5,
+2. generate test populations for several other bias rates (OOD environments),
+3. train vanilla CFR and CFR+SBRL-HAP,
+4. compare PEHE / ATE bias across the environments.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import HTEEstimator, SyntheticGenerator
+from repro.core.config import BackboneConfig, RegularizerConfig, SBRLConfig, TrainingConfig
+from repro.data import SyntheticConfig
+from repro.experiments import format_table
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. Build the benchmark: train on rho=2.5, test on three environments.
+    # ------------------------------------------------------------------ #
+    generator = SyntheticGenerator(
+        SyntheticConfig(num_instruments=8, num_confounders=8, num_adjustments=8, num_unstable=2, seed=7)
+    )
+    protocol = generator.generate_train_test_protocol(
+        num_samples=1000, train_rho=2.5, test_rhos=(2.5, 1.3, -3.0), seed=7
+    )
+    train = protocol["train"]
+    print("Training population:", train.summary())
+
+    # ------------------------------------------------------------------ #
+    # 2. Configure a laptop-scale estimator.
+    # ------------------------------------------------------------------ #
+    config = SBRLConfig(
+        backbone=BackboneConfig(rep_layers=3, rep_units=48, head_layers=3, head_units=24),
+        regularizers=RegularizerConfig(alpha=1e-3, gamma1=1.0, gamma2=1e-3, gamma3=1e-3,
+                                       max_pairs_per_layer=24),
+        training=TrainingConfig(iterations=150, learning_rate=1e-3, weight_update_every=10,
+                                weight_steps_per_iteration=3, weight_clip=(1e-3, 3.0),
+                                early_stopping_patience=None),
+    )
+
+    # ------------------------------------------------------------------ #
+    # 3. Train vanilla CFR and CFR+SBRL-HAP.
+    # ------------------------------------------------------------------ #
+    methods = {
+        "CFR (vanilla)": HTEEstimator(backbone="cfr", framework="vanilla", config=config, seed=0),
+        "CFR+SBRL-HAP": HTEEstimator(backbone="cfr", framework="sbrl-hap", config=config, seed=0),
+    }
+    rows = []
+    for name, estimator in methods.items():
+        estimator.fit(train)
+        row = [name]
+        for rho, dataset in protocol["test_environments"].items():
+            metrics = estimator.evaluate(dataset)
+            row.append(metrics["pehe"])
+        rows.append(row)
+
+    headers = ["method"] + [f"PEHE rho={rho:g}" for rho in protocol["test_environments"]]
+    print()
+    print(format_table(headers, rows, title="Quickstart: PEHE across environments"))
+    print()
+    print("rho=2.5 is in-distribution; rho=-3 is the farthest OOD environment.")
+
+
+if __name__ == "__main__":
+    main()

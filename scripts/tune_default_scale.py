@@ -1,0 +1,88 @@
+"""Internal tuning script: find default-scale hyper-parameters where the
+SBRL / SBRL-HAP frameworks show their OOD advantage over vanilla CFR.
+
+Not part of the public API; used during development to pick the defaults in
+``repro.experiments.protocols.experiment_config``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sys
+
+import numpy as np
+
+from repro.core.config import BackboneConfig, RegularizerConfig, SBRLConfig, TrainingConfig
+from repro.core.estimator import HTEEstimator
+from repro.data.synthetic import SyntheticConfig, SyntheticGenerator
+
+
+def build_config(alpha, gamma1, gamma2, gamma3, weight_lr, weight_steps, clip_hi):
+    return SBRLConfig(
+        backbone=BackboneConfig(rep_layers=3, rep_units=48, head_layers=3, head_units=24),
+        regularizers=RegularizerConfig(
+            alpha=alpha, gamma1=gamma1, gamma2=gamma2, gamma3=gamma3, max_pairs_per_layer=24
+        ),
+        training=TrainingConfig(
+            iterations=150,
+            learning_rate=1e-3,
+            weight_learning_rate=weight_lr,
+            weight_update_every=10,
+            weight_steps_per_iteration=weight_steps,
+            weight_clip=(1e-3, clip_hi),
+            evaluation_interval=25,
+            early_stopping_patience=None,
+            seed=0,
+        ),
+    )
+
+
+def main() -> None:
+    generator = SyntheticGenerator(SyntheticConfig(8, 8, 8, 2, seed=2024))
+    protocol = generator.generate_train_test_protocol(
+        num_samples=1000, train_rho=2.5, test_rhos=(2.5, -1.5, -3.0), seed=2024
+    )
+    train = protocol["train"]
+    env_id = protocol["test_environments"][2.5]
+    env_mid = protocol["test_environments"][-1.5]
+    env_far = protocol["test_environments"][-3.0]
+
+    base = build_config(1e-2, 1.0, 1e-1, 1e-2, 5e-2, 3, 10.0)
+    vanilla = HTEEstimator(backbone="cfr", framework="vanilla", config=base, seed=0)
+    vanilla.fit(train)
+    ref = {
+        "id": vanilla.evaluate(env_id)["pehe"],
+        "mid": vanilla.evaluate(env_mid)["pehe"],
+        "far": vanilla.evaluate(env_far)["pehe"],
+    }
+    print(f"CFR vanilla       id={ref['id']:.3f} mid={ref['mid']:.3f} far={ref['far']:.3f}", flush=True)
+
+    grid = [
+        dict(alpha=1e-2, gamma1=1.0, gamma2=1e-1, gamma3=1e-2, weight_lr=5e-2, weight_steps=3, clip_hi=10.0),
+        dict(alpha=1e-2, gamma1=10.0, gamma2=1e-1, gamma3=1e-2, weight_lr=5e-2, weight_steps=5, clip_hi=10.0),
+        dict(alpha=1e-1, gamma1=1.0, gamma2=1e-1, gamma3=1e-1, weight_lr=2e-2, weight_steps=5, clip_hi=5.0),
+        dict(alpha=1e-2, gamma1=1.0, gamma2=1.0, gamma3=1e-1, weight_lr=1e-1, weight_steps=5, clip_hi=5.0),
+        dict(alpha=1e-3, gamma1=1.0, gamma2=1e-3, gamma3=1e-3, weight_lr=5e-2, weight_steps=3, clip_hi=3.0),
+    ]
+    for index, params in enumerate(grid):
+        config = build_config(**params)
+        for framework in ("sbrl", "sbrl-hap"):
+            estimator = HTEEstimator(backbone="cfr", framework=framework, config=config, seed=0)
+            estimator.fit(train)
+            scores = {
+                "id": estimator.evaluate(env_id)["pehe"],
+                "mid": estimator.evaluate(env_mid)["pehe"],
+                "far": estimator.evaluate(env_far)["pehe"],
+            }
+            weights = estimator.sample_weights()
+            ess = weights.sum() ** 2 / np.sum(weights ** 2)
+            print(
+                f"grid{index} {framework:8s} id={scores['id']:.3f} mid={scores['mid']:.3f} "
+                f"far={scores['far']:.3f} (ref far {ref['far']:.3f}) ess={ess:.0f} "
+                f"params={params}",
+                flush=True,
+            )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

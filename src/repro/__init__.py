@@ -1,0 +1,58 @@
+"""SBRL-HAP: Stable Heterogeneous Treatment Effect Estimation across
+Out-of-Distribution Populations — a full reproduction of the ICDE 2024 paper.
+
+Top-level convenience imports::
+
+    from repro import HTEEstimator, SyntheticGenerator
+
+See ``README.md`` for a quickstart and ``DESIGN.md`` for the architecture.
+"""
+
+from .core import (
+    CFR,
+    FRAMEWORKS,
+    BackboneConfig,
+    DeRCFR,
+    HTEEstimator,
+    RegularizerConfig,
+    SBRLConfig,
+    SBRLTrainer,
+    TARNet,
+    TrainingConfig,
+    paper_preset,
+)
+from .data import (
+    CausalDataset,
+    IHDPSimulator,
+    SyntheticConfig,
+    SyntheticGenerator,
+    TwinsSimulator,
+    load_benchmark,
+)
+from .metrics import ate_error, f1_score, pehe
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "HTEEstimator",
+    "SBRLTrainer",
+    "SBRLConfig",
+    "BackboneConfig",
+    "RegularizerConfig",
+    "TrainingConfig",
+    "paper_preset",
+    "FRAMEWORKS",
+    "TARNet",
+    "CFR",
+    "DeRCFR",
+    "CausalDataset",
+    "SyntheticGenerator",
+    "SyntheticConfig",
+    "TwinsSimulator",
+    "IHDPSimulator",
+    "load_benchmark",
+    "pehe",
+    "ate_error",
+    "f1_score",
+]

@@ -1,0 +1,6 @@
+"""Classical baseline estimators (S-learner, T-learner, IPW, ridge/logistic)."""
+
+from .meta_learners import IPWEstimator, SLearner, TLearner
+from .ridge import LogisticRegression, RidgeRegression
+
+__all__ = ["SLearner", "TLearner", "IPWEstimator", "RidgeRegression", "LogisticRegression"]

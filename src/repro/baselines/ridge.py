@@ -1,0 +1,99 @@
+"""Closed-form ridge regression used by the classical baseline learners.
+
+The meta-learner baselines (S-learner, T-learner) and the IPW estimator need
+a simple, dependency-free base learner; ridge regression with an explicit
+normal-equation solution is fast, deterministic and adequate for the smooth
+response surfaces of the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["RidgeRegression", "LogisticRegression"]
+
+
+class RidgeRegression:
+    """Least squares with l2 regularisation, solved in closed form."""
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True) -> None:
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+        self.fit_intercept = fit_intercept
+        self.coefficients: Optional[np.ndarray] = None
+        self.intercept: float = 0.0
+
+    def fit(self, features: np.ndarray, targets: np.ndarray, sample_weight: Optional[np.ndarray] = None) -> "RidgeRegression":
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64).ravel()
+        if len(features) != len(targets):
+            raise ValueError("features and targets must have the same length")
+        if sample_weight is None:
+            sample_weight = np.ones(len(targets))
+        sample_weight = np.asarray(sample_weight, dtype=np.float64).ravel()
+        design = features
+        if self.fit_intercept:
+            design = np.column_stack([np.ones(len(features)), features])
+        weighted = design * sample_weight[:, None]
+        gram = weighted.T @ design
+        regulariser = self.alpha * np.eye(design.shape[1])
+        if self.fit_intercept:
+            regulariser[0, 0] = 0.0
+        solution = np.linalg.solve(gram + regulariser, weighted.T @ targets)
+        if self.fit_intercept:
+            self.intercept = float(solution[0])
+            self.coefficients = solution[1:]
+        else:
+            self.intercept = 0.0
+            self.coefficients = solution
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self.coefficients is None:
+            raise RuntimeError("model must be fit before prediction")
+        features = np.asarray(features, dtype=np.float64)
+        return features @ self.coefficients + self.intercept
+
+
+class LogisticRegression:
+    """Binary logistic regression trained with Newton-Raphson (IRLS)."""
+
+    def __init__(self, alpha: float = 1e-3, max_iterations: int = 50, tolerance: float = 1e-8) -> None:
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.coefficients: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "LogisticRegression":
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64).ravel()
+        design = np.column_stack([np.ones(len(features)), features])
+        beta = np.zeros(design.shape[1])
+        for _ in range(self.max_iterations):
+            logits = design @ beta
+            probabilities = 1.0 / (1.0 + np.exp(-np.clip(logits, -35, 35)))
+            gradient = design.T @ (probabilities - targets) + self.alpha * beta
+            variance = np.maximum(probabilities * (1.0 - probabilities), 1e-9)
+            hessian = (design * variance[:, None]).T @ design + self.alpha * np.eye(design.shape[1])
+            step = np.linalg.solve(hessian, gradient)
+            beta = beta - step
+            if np.max(np.abs(step)) < self.tolerance:
+                break
+        self.coefficients = beta
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self.coefficients is None:
+            raise RuntimeError("model must be fit before prediction")
+        features = np.asarray(features, dtype=np.float64)
+        design = np.column_stack([np.ones(len(features)), features])
+        logits = design @ self.coefficients
+        return 1.0 / (1.0 + np.exp(-np.clip(logits, -35, 35)))
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(features) >= threshold).astype(np.float64)

@@ -1,0 +1,148 @@
+"""Command-line interface for the reproduction harness.
+
+Exposes the experiment harness without writing Python::
+
+    python -m repro.cli list                       # available experiments / benchmarks
+    python -m repro.cli run table1 --scale smoke   # regenerate one table or figure
+    python -m repro.cli quickstart                 # train two estimators on a tiny benchmark
+    python -m repro.cli ood --benchmark syn_8_8_8_2  # OOD-level report for each environment
+
+The CLI is intentionally thin: every command is a small wrapper over the
+public library API, so anything it does can also be done programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from .core.config import SBRLConfig
+from .core.estimator import HTEEstimator
+from .data.loaders import available_benchmarks, load_benchmark
+from .diagnostics import assess_ood_level
+from .experiments import (
+    experiment_config,
+    figure3_pehe_curves,
+    figure4_f1_stability,
+    figure5_decorrelation,
+    figure6_hyperparameter_sensitivity,
+    format_table,
+    get_scale,
+    table1_synthetic,
+    table2_ablation,
+    table3_realworld,
+    table6_training_cost,
+)
+
+__all__ = ["main", "build_parser", "EXPERIMENTS"]
+
+EXPERIMENTS: Dict[str, Callable[..., object]] = {
+    "table1": table1_synthetic,
+    "table2": table2_ablation,
+    "table3": table3_realworld,
+    "table6": table6_training_cost,
+    "fig3": figure3_pehe_curves,
+    "fig4": figure4_f1_stability,
+    "fig5": figure5_decorrelation,
+    "fig6": figure6_hyperparameter_sensitivity,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SBRL-HAP reproduction command-line interface"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list experiments and benchmark datasets")
+
+    run = subparsers.add_parser("run", help="regenerate one of the paper's tables or figures")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment identifier")
+    run.add_argument("--scale", default="default", choices=("smoke", "default", "paper"))
+    run.add_argument("--seed", type=int, default=2024)
+
+    quickstart = subparsers.add_parser("quickstart", help="train CFR and CFR+SBRL-HAP on a small benchmark")
+    quickstart.add_argument("--benchmark", default="syn_8_8_8_2", choices=available_benchmarks())
+    quickstart.add_argument("--num-samples", type=int, default=800)
+    quickstart.add_argument("--scale", default="smoke", choices=("smoke", "default", "paper"))
+    quickstart.add_argument("--seed", type=int, default=2024)
+
+    ood = subparsers.add_parser("ood", help="report the OOD level of each test environment")
+    ood.add_argument("--benchmark", default="syn_8_8_8_2", choices=available_benchmarks())
+    ood.add_argument("--num-samples", type=int, default=1000)
+    ood.add_argument("--seed", type=int, default=2024)
+
+    return parser
+
+
+def _command_list(_: argparse.Namespace) -> int:
+    print("Experiments (python -m repro.cli run <name>):")
+    for name in sorted(EXPERIMENTS):
+        print(f"  {name:8s} -> {EXPERIMENTS[name].__name__}")
+    print()
+    print("Benchmark datasets (python -m repro.cli quickstart --benchmark <name>):")
+    for name in available_benchmarks():
+        print(f"  {name}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    experiment = EXPERIMENTS[args.experiment]
+    result = experiment(scale=args.scale, seed=args.seed)
+    print(result.text)
+    return 0
+
+
+def _command_quickstart(args: argparse.Namespace) -> int:
+    protocol = load_benchmark(args.benchmark, num_samples=args.num_samples, seed=args.seed)
+    train = protocol["train"]
+    validation = protocol.get("validation")
+    config: SBRLConfig = experiment_config(get_scale(args.scale), seed=args.seed)
+    rows = []
+    for framework in ("vanilla", "sbrl-hap"):
+        estimator = HTEEstimator(backbone="cfr", framework=framework, config=config, seed=args.seed)
+        estimator.fit(train, validation)
+        for name, dataset in protocol["test_environments"].items():
+            metrics = estimator.evaluate(dataset)
+            rows.append([estimator.name, str(name), metrics["pehe"], metrics["ate_error"]])
+    print(format_table(["method", "environment", "PEHE", "ATE bias"], rows,
+                       title=f"Quickstart on {args.benchmark}"))
+    return 0
+
+
+def _command_ood(args: argparse.Namespace) -> int:
+    protocol = load_benchmark(args.benchmark, num_samples=args.num_samples, seed=args.seed)
+    train = protocol["train"]
+    rows = []
+    for name, dataset in protocol["test_environments"].items():
+        report = assess_ood_level(train, dataset)
+        rows.append([str(name), report.domain_auc, report.moment_score, report.severity])
+    print(
+        format_table(
+            ["environment", "domain AUC", "moment shift", "severity"],
+            rows,
+            title=f"OOD level of {args.benchmark} test environments",
+        )
+    )
+    return 0
+
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
+    "list": _command_list,
+    "run": _command_run,
+    "quickstart": _command_quickstart,
+    "ood": _command_ood,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

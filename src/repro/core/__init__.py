@@ -1,0 +1,59 @@
+"""Core SBRL-HAP library: backbones, regularizers, frameworks, estimator."""
+
+from .backbones import (
+    BACKBONE_REGISTRY,
+    BackboneForward,
+    BaseBackbone,
+    CFR,
+    DeRCFR,
+    DeRCFRPenalties,
+    TARNet,
+    TwoHeadPredictor,
+    build_backbone,
+)
+from .config import (
+    PAPER_GAMMA_GRID,
+    PAPER_PRESETS,
+    BackboneConfig,
+    RegularizerConfig,
+    SBRLConfig,
+    TrainingConfig,
+    paper_preset,
+)
+from .estimator import HTEEstimator
+from .regularizers import (
+    BalancingRegularizer,
+    HierarchicalAttentionLoss,
+    IndependenceRegularizer,
+    WeightLossBreakdown,
+)
+from .sbrl import FRAMEWORKS, SBRLTrainer, TrainingHistory
+from .weights import SampleWeights
+
+__all__ = [
+    "HTEEstimator",
+    "SBRLTrainer",
+    "TrainingHistory",
+    "FRAMEWORKS",
+    "SampleWeights",
+    "BalancingRegularizer",
+    "IndependenceRegularizer",
+    "HierarchicalAttentionLoss",
+    "WeightLossBreakdown",
+    "BackboneForward",
+    "BaseBackbone",
+    "TwoHeadPredictor",
+    "TARNet",
+    "CFR",
+    "DeRCFR",
+    "DeRCFRPenalties",
+    "BACKBONE_REGISTRY",
+    "build_backbone",
+    "SBRLConfig",
+    "BackboneConfig",
+    "RegularizerConfig",
+    "TrainingConfig",
+    "paper_preset",
+    "PAPER_PRESETS",
+    "PAPER_GAMMA_GRID",
+]

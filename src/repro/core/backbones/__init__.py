@@ -1,0 +1,35 @@
+"""Representation-balancing backbones: TARNet, CFR and DeR-CFR."""
+
+from typing import Dict, Type
+
+from .base import BackboneForward, BaseBackbone, TwoHeadPredictor
+from .cfr import CFR
+from .dercfr import DeRCFR, DeRCFRPenalties
+from .tarnet import TARNet
+
+__all__ = [
+    "BackboneForward",
+    "BaseBackbone",
+    "TwoHeadPredictor",
+    "TARNet",
+    "CFR",
+    "DeRCFR",
+    "DeRCFRPenalties",
+    "BACKBONE_REGISTRY",
+    "build_backbone",
+]
+
+BACKBONE_REGISTRY: Dict[str, Type[BaseBackbone]] = {
+    "tarnet": TARNet,
+    "cfr": CFR,
+    "dercfr": DeRCFR,
+    "der-cfr": DeRCFR,
+}
+
+
+def build_backbone(name: str, num_features: int, **kwargs) -> BaseBackbone:
+    """Instantiate a backbone by name."""
+    key = name.lower()
+    if key not in BACKBONE_REGISTRY:
+        raise ValueError(f"unknown backbone {name!r}; available: {sorted(set(BACKBONE_REGISTRY))}")
+    return BACKBONE_REGISTRY[key](num_features, **kwargs)

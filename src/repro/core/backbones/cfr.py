@@ -1,0 +1,60 @@
+"""CFR backbone (Counterfactual Regression, Shalit et al., 2017).
+
+CFR extends TARNet with a balance penalty on the representation: the IPM
+distance between the treated and control representation distributions is
+added to the training loss with weight ``alpha``.  When wrapped by SBRL /
+SBRL-HAP the same IPM is computed on the *weighted* distributions, so the
+sample weights — not only the network parameters — absorb the balancing
+constraint (the paper's "model-free" Balancing Regularizer).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...metrics.ipm import weighted_ipm
+from ...nn.tensor import Tensor, as_tensor
+from .base import BackboneForward
+from .tarnet import TARNet
+
+__all__ = ["CFR"]
+
+
+class CFR(TARNet):
+    """TARNet + IPM balance penalty on the shared representation."""
+
+    name = "cfr"
+
+    def regularization_loss(
+        self,
+        forward: BackboneForward,
+        treatment: np.ndarray,
+        sample_weights: Optional[Tensor] = None,
+    ) -> Tensor:
+        alpha = self.regularizers.alpha
+        if alpha == 0.0:
+            return as_tensor(0.0)
+        treatment = np.asarray(treatment, dtype=np.float64).ravel()
+        treated_mask = treatment == 1.0
+        control_mask = ~treated_mask
+        if treated_mask.sum() == 0 or control_mask.sum() == 0:
+            # A batch with a single treatment arm carries no balance signal.
+            return as_tensor(0.0)
+        rep = forward.representation
+        rep_treated = rep[np.where(treated_mask)[0]]
+        rep_control = rep[np.where(control_mask)[0]]
+        weights_treated = weights_control = None
+        if sample_weights is not None:
+            weights = as_tensor(sample_weights).reshape(-1)
+            weights_treated = weights[np.where(treated_mask)[0]]
+            weights_control = weights[np.where(control_mask)[0]]
+        distance = weighted_ipm(
+            rep_control,
+            rep_treated,
+            weights_control=weights_control,
+            weights_treated=weights_treated,
+            kind=self.regularizers.ipm_kind,
+        )
+        return distance * alpha

@@ -1,0 +1,12 @@
+"""SBRL-HAP regularizers: balancing, independence and hierarchical attention."""
+
+from .balancing import BalancingRegularizer
+from .hierarchical import HierarchicalAttentionLoss, WeightLossBreakdown
+from .independence import IndependenceRegularizer
+
+__all__ = [
+    "BalancingRegularizer",
+    "IndependenceRegularizer",
+    "HierarchicalAttentionLoss",
+    "WeightLossBreakdown",
+]

@@ -1,0 +1,144 @@
+"""Hierarchical-Attention Paradigm (Section IV.C of the paper).
+
+The HAP assigns three priorities to the layers of the backbone when
+computing the feature-decorrelation loss used to learn the sample weights
+(Eq. 11):
+
+* priority 1 — the last predictive layer ``Z_p`` with weight ``gamma1``
+  (this alone is the plain Independence Regularizer of SBRL),
+* priority 2 — the balanced-representation layer ``Z_r`` with ``gamma2``,
+* priority 3 — every other hidden layer ``Z_o`` with ``gamma3``.
+
+Combined with the Balancing Regularizer ``alpha * L_B`` and the weight
+anchor ``R_w = mean((w - 1)^2)``, this yields the full weight objective
+``L_w`` of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ...nn.tensor import Tensor, as_tensor
+from ..backbones.base import BackboneForward
+from ..config import RegularizerConfig
+from .balancing import BalancingRegularizer
+from .independence import IndependenceRegularizer
+
+__all__ = ["HierarchicalAttentionLoss", "WeightLossBreakdown"]
+
+
+@dataclass
+class WeightLossBreakdown:
+    """The individual terms of the weight objective, for logging/ablation."""
+
+    balance: float
+    independence_last: float
+    independence_representation: float
+    independence_other: float
+    anchor: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.balance
+            + self.independence_last
+            + self.independence_representation
+            + self.independence_other
+            + self.anchor
+        )
+
+
+class HierarchicalAttentionLoss:
+    """Assembles ``L_w`` from a backbone forward pass and the sample weights.
+
+    ``mode`` selects the framework variant:
+
+    * ``"sbrl"``     — ``alpha * L_B + gamma1 * L_I + R_w`` (no HAP terms),
+    * ``"sbrl-hap"`` — adds ``gamma2 * L_D(Z_r)`` and ``gamma3 * sum L_D(Z_o)``.
+
+    Individual terms can also be disabled explicitly (``use_balance``,
+    ``use_independence``, ``use_hierarchy``) to support the paper's Table II
+    ablation study.
+    """
+
+    def __init__(
+        self,
+        config: Optional[RegularizerConfig] = None,
+        mode: str = "sbrl-hap",
+        use_balance: bool = True,
+        use_independence: bool = True,
+        use_hierarchy: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if mode not in ("sbrl", "sbrl-hap"):
+            raise ValueError("mode must be 'sbrl' or 'sbrl-hap'")
+        self.config = config if config is not None else RegularizerConfig()
+        self.mode = mode
+        self.use_balance = use_balance
+        self.use_independence = use_independence
+        self.use_hierarchy = use_hierarchy and mode == "sbrl-hap"
+        self.balancing = BalancingRegularizer(kind=self.config.ipm_kind, alpha=1.0)
+        self.independence = IndependenceRegularizer(
+            num_rff_features=self.config.num_rff_features,
+            max_pairs=self.config.max_pairs_per_layer,
+            seed=seed,
+        )
+        self.last_breakdown: Optional[WeightLossBreakdown] = None
+
+    def loss(
+        self,
+        forward: BackboneForward,
+        treatment: np.ndarray,
+        sample_weights: Tensor,
+    ) -> Tensor:
+        """Return the full weight objective ``L_w`` minus the anchor term.
+
+        The anchor ``R_w`` is added by the sample-weight model itself (it
+        depends only on the weights), so this method returns the data-dependent
+        part: ``alpha*L_B + gamma1*L_I + gamma2*L_D(Z_r) + gamma3*sum L_D(Z_o)``.
+        """
+        cfg = self.config
+        weights = as_tensor(sample_weights).reshape(-1)
+        total: Tensor = as_tensor(0.0)
+        balance_value = 0.0
+        independence_last_value = 0.0
+        independence_rep_value = 0.0
+        independence_other_value = 0.0
+
+        if self.use_balance and cfg.alpha > 0:
+            balance = self.balancing(forward.representation, treatment, weights) * cfg.alpha
+            total = total + balance
+            balance_value = balance.item()
+
+        if self.use_independence and cfg.gamma1 > 0:
+            term = self.independence(forward.last_layer, weights, key="Zp") * cfg.gamma1
+            total = total + term
+            independence_last_value = term.item()
+
+        if self.use_hierarchy:
+            if cfg.gamma2 > 0:
+                term = self.independence(forward.representation, weights, key="Zr") * cfg.gamma2
+                total = total + term
+                independence_rep_value = term.item()
+            if cfg.gamma3 > 0 and forward.other_layers:
+                other_total: Tensor = as_tensor(0.0)
+                for index, layer in enumerate(forward.other_layers):
+                    other_total = other_total + self.independence(layer, weights, key=f"Zo{index}")
+                term = other_total * cfg.gamma3
+                total = total + term
+                independence_other_value = term.item()
+
+        self.last_breakdown = WeightLossBreakdown(
+            balance=balance_value,
+            independence_last=independence_last_value,
+            independence_representation=independence_rep_value,
+            independence_other=independence_other_value,
+            anchor=0.0,
+        )
+        return total
+
+    def __call__(self, forward: BackboneForward, treatment: np.ndarray, sample_weights: Tensor) -> Tensor:
+        return self.loss(forward, treatment, sample_weights)

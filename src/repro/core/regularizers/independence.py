@@ -1,0 +1,70 @@
+"""Independence Regularizer (Section IV.B of the paper).
+
+Computes ``L_I = L_D(Z_p, w)``: the sum of weighted HSIC-RFF values over all
+pairs of columns of the last predictive layer ``Z_p``.  Minimising ``L_I``
+with respect to the sample weights decorrelates the features feeding the
+outcome heads, so the heads can only exploit stable (causal) relationships —
+the mechanism by which stable learning survives distribution shift.
+
+The random Fourier feature draws are created lazily, one per column index,
+and cached so that the loss is a deterministic function of (features,
+weights) across training iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ...metrics.hsic import RandomFourierFeatures, pairwise_decorrelation_loss
+from ...nn.tensor import Tensor, as_tensor
+
+__all__ = ["IndependenceRegularizer"]
+
+
+class IndependenceRegularizer:
+    """Weighted pairwise HSIC-RFF decorrelation loss for one layer family."""
+
+    def __init__(
+        self,
+        num_rff_features: int = 5,
+        max_pairs: Optional[int] = 64,
+        seed: int = 0,
+    ) -> None:
+        if num_rff_features <= 0:
+            raise ValueError("num_rff_features must be positive")
+        self.num_rff_features = num_rff_features
+        self.max_pairs = max_pairs
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._pair_rng = np.random.default_rng(seed + 1)
+        self._feature_cache: Dict[str, List[RandomFourierFeatures]] = {}
+
+    def _features_for(self, key: str, num_columns: int) -> List[RandomFourierFeatures]:
+        """Return (and cache) one RFF draw per column of the named layer."""
+        cached = self._feature_cache.get(key, [])
+        while len(cached) < num_columns:
+            cached.append(RandomFourierFeatures.draw(self.num_rff_features, self._rng))
+        self._feature_cache[key] = cached
+        return cached
+
+    def loss(self, layer: Tensor, sample_weights: Tensor, key: str = "Zp") -> Tensor:
+        """Return ``L_D(layer, w)`` (Eq. 10) for one activation matrix."""
+        layer = as_tensor(layer)
+        if layer.ndim != 2:
+            raise ValueError("layer must be a 2-D activation matrix")
+        num_columns = layer.shape[1]
+        if num_columns < 2:
+            return as_tensor(0.0)
+        features = self._features_for(key, num_columns)
+        return pairwise_decorrelation_loss(
+            layer,
+            sample_weights,
+            features,
+            max_pairs=self.max_pairs,
+            rng=self._pair_rng,
+        )
+
+    def __call__(self, layer: Tensor, sample_weights: Tensor, key: str = "Zp") -> Tensor:
+        return self.loss(layer, sample_weights, key=key)

@@ -1,0 +1,240 @@
+"""Alternating training of SBRL / SBRL-HAP (Algorithm 1 of the paper).
+
+The trainer wraps any backbone and optimises, in alternation:
+
+1. the network parameters with the weighted factual loss ``L_Y^w``
+   (Eq. 13) plus the backbone's own regularisation, holding the sample
+   weights fixed;
+2. the sample weights with the weight objective ``L_w`` (Eq. 11) —
+   ``alpha * L_B + gamma1 * L_I + gamma2 * L_D(Z_r) + gamma3 * sum L_D(Z_o)
+   + R_w`` — holding the network parameters fixed.
+
+Three framework variants are supported:
+
+* ``"vanilla"``   — no sample weights, plain backbone training;
+* ``"sbrl"``      — weights learned from ``L_B`` and ``L_I`` only;
+* ``"sbrl-hap"``  — weights learned with the full hierarchical objective.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..data.dataset import CausalDataset
+from ..metrics.evaluation import EffectEstimates, evaluate_effect_predictions
+from ..nn.optim import Adam, ExponentialDecay
+from ..nn.tensor import Tensor, as_tensor, no_grad
+from .backbones.base import BackboneForward, BaseBackbone
+from .config import SBRLConfig
+from .regularizers.hierarchical import HierarchicalAttentionLoss
+from .weights import SampleWeights
+
+__all__ = ["SBRLTrainer", "TrainingHistory", "FRAMEWORKS"]
+
+FRAMEWORKS = ("vanilla", "sbrl", "sbrl-hap")
+
+
+@dataclass
+class TrainingHistory:
+    """Scalar traces recorded during training (for tests, plots and debugging)."""
+
+    iterations: List[int] = field(default_factory=list)
+    network_loss: List[float] = field(default_factory=list)
+    weight_loss: List[float] = field(default_factory=list)
+    validation_loss: List[float] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    best_iteration: int = 0
+
+    def as_dict(self) -> Dict[str, list]:
+        return {
+            "iterations": list(self.iterations),
+            "network_loss": list(self.network_loss),
+            "weight_loss": list(self.weight_loss),
+            "validation_loss": list(self.validation_loss),
+        }
+
+
+class SBRLTrainer:
+    """Trains a backbone under one of the three framework variants."""
+
+    def __init__(
+        self,
+        backbone: BaseBackbone,
+        framework: str = "sbrl-hap",
+        config: Optional[SBRLConfig] = None,
+        use_balance: bool = True,
+        use_independence: bool = True,
+        use_hierarchy: bool = True,
+    ) -> None:
+        framework = framework.lower()
+        if framework not in FRAMEWORKS:
+            raise ValueError(f"framework must be one of {FRAMEWORKS}")
+        self.backbone = backbone
+        self.framework = framework
+        self.config = config if config is not None else SBRLConfig()
+        self.history = TrainingHistory()
+        self.sample_weights: Optional[SampleWeights] = None
+        self._standardize_mean: Optional[np.ndarray] = None
+        self._standardize_std: Optional[np.ndarray] = None
+
+        if framework == "vanilla":
+            self.weight_objective = None
+        else:
+            mode = "sbrl" if framework == "sbrl" else "sbrl-hap"
+            self.weight_objective = HierarchicalAttentionLoss(
+                config=self.config.regularizers,
+                mode=mode,
+                use_balance=use_balance,
+                use_independence=use_independence,
+                use_hierarchy=use_hierarchy,
+                seed=self.config.training.seed,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def fit(self, train: CausalDataset, validation: Optional[CausalDataset] = None) -> TrainingHistory:
+        """Run the alternating optimisation on ``train``.
+
+        Covariates are standardised with the training statistics (also applied
+        to validation and at prediction time).  When ``validation`` is given,
+        the best network state according to the validation factual loss is
+        restored at the end (the paper's early-stopping protocol).
+        """
+        cfg = self.config.training
+        start = time.perf_counter()
+
+        train_std, mean, std = train.standardize()
+        self._standardize_mean, self._standardize_std = mean, std
+        val_std = validation.standardize(mean, std)[0] if validation is not None else None
+
+        covariates = train_std.covariates
+        treatment = train_std.treatment
+        outcome = train_std.outcome
+
+        schedule = ExponentialDecay(cfg.learning_rate, cfg.lr_decay_rate, cfg.lr_decay_steps)
+        optimizer = Adam(self.backbone.parameters(), schedule=schedule)
+
+        uses_weights = self.framework != "vanilla"
+        if uses_weights:
+            self.sample_weights = SampleWeights(
+                num_samples=len(train_std),
+                learning_rate=cfg.weight_learning_rate,
+                clip=cfg.weight_clip,
+            )
+
+        best_state: Optional[Dict[str, np.ndarray]] = None
+        best_loss = np.inf
+        patience_left = cfg.early_stopping_patience
+
+        for iteration in range(cfg.iterations):
+            # -------------------- network update -------------------- #
+            weights_constant = (
+                as_tensor(self.sample_weights.numpy()) if uses_weights else None
+            )
+            forward = self.backbone.forward(covariates, treatment)
+            loss = self.backbone.network_loss(forward, treatment, outcome, weights_constant)
+            self.backbone.zero_grad()
+            loss.backward()
+            optimizer.step()
+
+            weight_loss_value = float("nan")
+            # -------------------- weight update --------------------- #
+            if uses_weights and (iteration % cfg.weight_update_every == 0):
+                weight_loss_value = self._update_weights(covariates, treatment, cfg)
+
+            # -------------------- bookkeeping ------------------------ #
+            if iteration % cfg.evaluation_interval == 0 or iteration == cfg.iterations - 1:
+                validation_loss = self._evaluation_loss(val_std) if val_std is not None else loss.item()
+                self.history.iterations.append(iteration)
+                self.history.network_loss.append(loss.item())
+                self.history.weight_loss.append(weight_loss_value)
+                self.history.validation_loss.append(validation_loss)
+                if cfg.verbose:
+                    print(
+                        f"[{self.framework}] iter={iteration:5d} "
+                        f"loss={loss.item():.4f} val={validation_loss:.4f}"
+                    )
+                if validation_loss < best_loss - 1e-9:
+                    best_loss = validation_loss
+                    best_state = self.backbone.state_dict()
+                    self.history.best_iteration = iteration
+                    patience_left = cfg.early_stopping_patience
+                elif cfg.early_stopping_patience is not None:
+                    patience_left = (patience_left or 0) - cfg.evaluation_interval
+                    if patience_left <= 0:
+                        break
+
+        if best_state is not None:
+            self.backbone.load_state_dict(best_state)
+        self.history.elapsed_seconds = time.perf_counter() - start
+        return self.history
+
+    def _update_weights(self, covariates: np.ndarray, treatment: np.ndarray, cfg) -> float:
+        """One (or more) gradient steps on the sample weights, network fixed."""
+        assert self.sample_weights is not None and self.weight_objective is not None
+        # The weight objective depends on the *values* of the activations but
+        # not on the network parameters' gradients, so the forward pass can be
+        # done in inference mode and wrapped as constants — considerably
+        # cheaper than backpropagating through the whole network.
+        with no_grad():
+            forward = self.backbone.forward(covariates, treatment)
+        constant_forward = BackboneForward(
+            mu0=forward.mu0.detach(),
+            mu1=forward.mu1.detach(),
+            representation=forward.representation.detach(),
+            last_layer=forward.last_layer.detach(),
+            other_layers=[layer.detach() for layer in forward.other_layers],
+            extra={key: value.detach() for key, value in forward.extra.items()},
+        )
+        last_value = float("nan")
+        for _ in range(cfg.weight_steps_per_iteration):
+            weight_loss = (
+                self.weight_objective(constant_forward, treatment, self.sample_weights.tensor)
+                + self.sample_weights.anchor_penalty()
+            )
+            self.sample_weights.zero_grad()
+            weight_loss.backward()
+            self.sample_weights.step()
+            last_value = weight_loss.item()
+        return last_value
+
+    def _evaluation_loss(self, dataset: CausalDataset) -> float:
+        """Unweighted factual loss on a held-out (standardised) dataset."""
+        with no_grad():
+            forward = self.backbone.forward(dataset.covariates, dataset.treatment)
+            loss = self.backbone.factual_loss(forward, dataset.treatment, dataset.outcome)
+        return loss.item()
+
+    # ------------------------------------------------------------------ #
+    # Inference / evaluation
+    # ------------------------------------------------------------------ #
+    def _transform(self, covariates: np.ndarray) -> np.ndarray:
+        if self._standardize_mean is None or self._standardize_std is None:
+            raise RuntimeError("the trainer must be fit before prediction")
+        return (np.asarray(covariates, dtype=np.float64) - self._standardize_mean) / self._standardize_std
+
+    def predict(self, covariates: np.ndarray) -> Dict[str, np.ndarray]:
+        """Predict both potential outcomes and the ITE for new units."""
+        return self.backbone.predict(self._transform(covariates))
+
+    def representations(self, covariates: np.ndarray) -> np.ndarray:
+        """Balanced representation Φ(x) of new units (used for Fig. 5)."""
+        return self.backbone.representations(self._transform(covariates))
+
+    def evaluate(self, dataset: CausalDataset) -> Dict[str, float]:
+        """Compute PEHE, ATE bias (and F1 for binary outcomes) on a dataset."""
+        predictions = self.predict(dataset.covariates)
+        estimates = EffectEstimates(
+            mu0_true=dataset.mu0,
+            mu1_true=dataset.mu1,
+            mu0_pred=predictions["mu0"],
+            mu1_pred=predictions["mu1"],
+        )
+        return evaluate_effect_predictions(
+            estimates, treatment=dataset.treatment, binary_outcome=dataset.binary_outcome
+        )

@@ -1,0 +1,36 @@
+"""Benchmark data substrate: containers, generators and OOD environments."""
+
+from .dataset import CausalDataset, TrainValTestSplit
+from .environments import (
+    biased_sampling_probabilities,
+    biased_split,
+    biased_subsample,
+    covariate_shift_distance,
+    environment_shift_report,
+)
+from .ihdp import IHDPConfig, IHDPReplication, IHDPSimulator
+from .loaders import available_benchmarks, load_benchmark
+from .synthetic import DEFAULT_TRAIN_RHO, PAPER_BIAS_RATES, SyntheticConfig, SyntheticGenerator
+from .twins import TwinsConfig, TwinsReplication, TwinsSimulator
+
+__all__ = [
+    "CausalDataset",
+    "TrainValTestSplit",
+    "SyntheticConfig",
+    "SyntheticGenerator",
+    "PAPER_BIAS_RATES",
+    "DEFAULT_TRAIN_RHO",
+    "TwinsConfig",
+    "TwinsSimulator",
+    "TwinsReplication",
+    "IHDPConfig",
+    "IHDPSimulator",
+    "IHDPReplication",
+    "biased_sampling_probabilities",
+    "biased_subsample",
+    "biased_split",
+    "covariate_shift_distance",
+    "environment_shift_report",
+    "available_benchmarks",
+    "load_benchmark",
+]

@@ -1,0 +1,244 @@
+"""Semi-synthetic IHDP benchmark builder.
+
+The Infant Health and Development Program (IHDP) benchmark of Hill (2011)
+uses the covariates of a randomised trial (747 units after removing a biased
+subset of the treated group: 139 treated, 608 control; 25 covariates — 6
+continuous, 19 binary) and *simulates* continuous outcomes with the NPCI
+package.  The covariate file itself is not available offline, so this module
+simulates covariates with IHDP-like structure and reproduces the rest of the
+construction faithfully:
+
+* 25 covariates: 6 continuous (birth weight, head circumference, weeks born
+  preterm, birth order, neonatal health index, mother's age — standardised)
+  and 19 binary (sex, twin status, maternal descriptors, site indicators),
+* selection bias introduced the same way Hill did: start from a randomised
+  assignment, then *remove* a non-random subset of the treated group
+  (children of unmarried mothers), leaving ~139 treated of 747 units,
+* response surface A of the NPCI package: ``Y0 ~ N(X beta, 1)`` and
+  ``Y1 ~ N(X beta + 4, 1)`` with sparse coefficients sampled from
+  ``{0, 1, 2, 3, 4}``, giving a homogeneous true effect of 4, plus the
+  non-linear surface B variant (``Y0 ~ N(exp((X + W) beta), 1)``,
+  ``Y1 ~ N(X beta - omega, 1)``) used in most deep-learning papers,
+* the paper's OOD protocol: 10 % of records are selected into the test set
+  by biased sampling on the *continuous* covariates, and the remaining 90 %
+  are split 70/30 into train/validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .dataset import CausalDataset, TrainValTestSplit
+from .environments import biased_split
+
+__all__ = ["IHDPConfig", "IHDPSimulator", "IHDPReplication"]
+
+NUM_CONTINUOUS = 6
+NUM_BINARY = 19
+NUM_COVARIATES = NUM_CONTINUOUS + NUM_BINARY
+
+
+@dataclass
+class IHDPConfig:
+    """Configuration of the IHDP benchmark builder."""
+
+    num_units: int = 747
+    target_num_treated: int = 139
+    response_surface: str = "A"
+    bias_rate: float = -2.5
+    test_fraction: float = 0.1
+    train_fraction: float = 0.7
+    outcome_noise: float = 1.0
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.num_units < 50:
+            raise ValueError("num_units must be at least 50")
+        if not 0 < self.target_num_treated < self.num_units:
+            raise ValueError("target_num_treated must be in (0, num_units)")
+        if self.response_surface not in ("A", "B"):
+            raise ValueError("response_surface must be 'A' or 'B'")
+        if not 0 < self.test_fraction < 1:
+            raise ValueError("test_fraction must be in (0, 1)")
+        if not 0 < self.train_fraction < 1:
+            raise ValueError("train_fraction must be in (0, 1)")
+        if abs(self.bias_rate) <= 1.0:
+            raise ValueError("bias_rate must satisfy |rho| > 1")
+
+
+@dataclass
+class IHDPReplication:
+    """One replication of the IHDP protocol (train / validation / OOD test)."""
+
+    train: CausalDataset
+    validation: CausalDataset
+    test: CausalDataset
+    replication: int
+
+    def as_split(self) -> TrainValTestSplit:
+        return TrainValTestSplit(train=self.train, validation=self.validation, test=self.test)
+
+
+class IHDPSimulator:
+    """Builds IHDP-style populations and OOD replications."""
+
+    def __init__(self, config: Optional[IHDPConfig] = None) -> None:
+        self.config = config if config is not None else IHDPConfig()
+
+    # ------------------------------------------------------------------ #
+    # Covariates and selection bias
+    # ------------------------------------------------------------------ #
+    def _covariates(self, rng: np.random.Generator, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (covariate matrix, unmarried-mother indicator)."""
+        # Continuous block (standardised, correlated through a prematurity factor).
+        prematurity = rng.normal(0.0, 1.0, size=n)
+        birth_weight = -0.6 * prematurity + rng.normal(0.0, 0.8, size=n)
+        head_circumference = 0.7 * birth_weight + rng.normal(0.0, 0.7, size=n)
+        weeks_preterm = 0.8 * prematurity + rng.normal(0.0, 0.6, size=n)
+        birth_order = rng.normal(0.0, 1.0, size=n)
+        neonatal_health = -0.5 * prematurity + rng.normal(0.0, 0.9, size=n)
+        mother_age = rng.normal(0.0, 1.0, size=n)
+        continuous = np.column_stack(
+            [birth_weight, head_circumference, weeks_preterm, birth_order, neonatal_health, mother_age]
+        )
+
+        def bernoulli(p) -> np.ndarray:
+            return (rng.uniform(size=n) < np.clip(p, 0.02, 0.98)).astype(float)
+
+        sex_male = bernoulli(0.51)
+        twin = bernoulli(0.08)
+        married = bernoulli(0.55 + 0.08 * (mother_age > 0))
+        unmarried = 1.0 - married
+        mother_smoked = bernoulli(0.30)
+        mother_drank = bernoulli(0.08)
+        first_born = bernoulli(0.42)
+        mother_worked = bernoulli(0.55)
+        mother_hs_dropout = bernoulli(0.35 - 0.10 * (mother_age > 0))
+        mother_hs_grad = bernoulli(0.30)
+        mother_some_college = bernoulli(0.20)
+        mother_black = bernoulli(0.35)
+        mother_hispanic = bernoulli(0.15)
+        prenatal_care_late = bernoulli(0.25)
+        low_birth_weight_prior = bernoulli(0.10)
+        site_indicators = np.column_stack([bernoulli(1.0 / 8.0) for _ in range(5)])
+
+        binary = np.column_stack(
+            [
+                sex_male,
+                twin,
+                married,
+                mother_smoked,
+                mother_drank,
+                first_born,
+                mother_worked,
+                mother_hs_dropout,
+                mother_hs_grad,
+                mother_some_college,
+                mother_black,
+                mother_hispanic,
+                prenatal_care_late,
+                low_birth_weight_prior,
+                site_indicators,
+            ]
+        )
+        covariates = np.column_stack([continuous, binary])
+        assert covariates.shape[1] == NUM_COVARIATES
+        return covariates, unmarried
+
+    def _response_surface(
+        self, covariates: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Noiseless potential-outcome means (mu0, mu1) for surface A or B."""
+        cfg = self.config
+        n, d = covariates.shape
+        x = covariates.copy()
+        # Offset matrix W = 0.5 as in the NPCI package for surface B.
+        if cfg.response_surface == "A":
+            beta = rng.choice([0.0, 1.0, 2.0, 3.0, 4.0], size=d, p=[0.5, 0.2, 0.15, 0.1, 0.05])
+            mu0 = x @ beta
+            mu1 = x @ beta + 4.0
+        else:
+            beta = rng.choice(
+                [0.0, 0.1, 0.2, 0.3, 0.4], size=d, p=[0.6, 0.1, 0.1, 0.1, 0.1]
+            )
+            mu0 = np.exp((x + 0.5) @ beta)
+            mu1 = x @ beta
+            omega = float(np.mean(mu1 - mu0) - 4.0)
+            mu1 = mu1 - omega
+        return mu0, mu1
+
+    # ------------------------------------------------------------------ #
+    # Population assembly
+    # ------------------------------------------------------------------ #
+    def build_population(self, seed: Optional[int] = None) -> CausalDataset:
+        """Build one IHDP population with Hill-style selection bias."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed if seed is None else seed)
+
+        # Generate a larger randomised trial, then remove a biased subset of
+        # the treated group (children of unmarried mothers) so that the final
+        # population has cfg.num_units units and ~cfg.target_num_treated treated.
+        oversample = int(cfg.num_units * 1.8)
+        covariates, unmarried = self._covariates(rng, oversample)
+        randomised_treatment = (rng.uniform(size=oversample) < 0.5).astype(np.float64)
+
+        treated_idx = np.where(randomised_treatment == 1.0)[0]
+        control_idx = np.where(randomised_treatment == 0.0)[0]
+
+        # Keep treated units preferentially from married mothers — this is the
+        # biased removal that breaks randomisation and creates confounding.
+        keep_score = 1.0 - 0.85 * unmarried[treated_idx] + rng.uniform(0, 0.05, len(treated_idx))
+        order = np.argsort(-keep_score)
+        kept_treated = treated_idx[order[: cfg.target_num_treated]]
+
+        num_control = cfg.num_units - len(kept_treated)
+        if num_control > len(control_idx):
+            raise RuntimeError("not enough control units generated; increase the oversample factor")
+        kept_control = rng.choice(control_idx, size=num_control, replace=False)
+
+        keep = np.concatenate([kept_treated, kept_control])
+        rng.shuffle(keep)
+        covariates = covariates[keep]
+        treatment = randomised_treatment[keep]
+
+        mu0, mu1 = self._response_surface(covariates, rng)
+        y0 = mu0 + rng.normal(0.0, cfg.outcome_noise, size=len(keep))
+        y1 = mu1 + rng.normal(0.0, cfg.outcome_noise, size=len(keep))
+        outcome = treatment * y1 + (1.0 - treatment) * y0
+
+        roles = {
+            "continuous": np.arange(0, NUM_CONTINUOUS),
+            "binary": np.arange(NUM_CONTINUOUS, NUM_COVARIATES),
+        }
+        return CausalDataset(
+            covariates=covariates,
+            treatment=treatment,
+            outcome=outcome,
+            mu0=mu0,
+            mu1=mu1,
+            environment="ihdp",
+            feature_roles=roles,
+            binary_outcome=False,
+        )
+
+    def replication(self, index: int) -> IHDPReplication:
+        """Build one train / validation / OOD-test replication of the protocol."""
+        cfg = self.config
+        population = self.build_population(seed=cfg.seed + 31 * index)
+        rng = np.random.default_rng(cfg.seed + 53 * index + 7)
+        continuous_columns = population.feature_roles["continuous"]
+        rest, test = biased_split(
+            population, cfg.bias_rate, continuous_columns, cfg.test_fraction, rng
+        )
+        train, validation = rest.train_validation_split(cfg.train_fraction, rng)
+        return IHDPReplication(train=train, validation=validation, test=test, replication=index)
+
+    def replications(self, count: int = 100) -> Iterator[IHDPReplication]:
+        """Yield ``count`` replications (the paper uses 100)."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        for index in range(count):
+            yield self.replication(index)

@@ -1,0 +1,82 @@
+"""Dataset registry: build any benchmark dataset by name.
+
+Provides a single entry point (:func:`load_benchmark`) used by the examples
+and the experiment harness so that a benchmark can be selected with a string
+such as ``"syn_8_8_8_2"``, ``"syn_16_16_16_2"``, ``"twins"`` or ``"ihdp"``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from .ihdp import IHDPConfig, IHDPSimulator
+from .synthetic import SyntheticConfig, SyntheticGenerator
+from .twins import TwinsConfig, TwinsSimulator
+
+__all__ = ["available_benchmarks", "load_benchmark"]
+
+
+def _build_synthetic(dims, num_samples: int, seed: int):
+    config = SyntheticConfig(
+        num_instruments=dims[0],
+        num_confounders=dims[1],
+        num_adjustments=dims[2],
+        num_unstable=dims[3],
+        seed=seed,
+    )
+    generator = SyntheticGenerator(config)
+    return generator.generate_train_test_protocol(num_samples=num_samples, seed=seed)
+
+
+def _build_twins(num_samples: int, seed: int):
+    simulator = TwinsSimulator(TwinsConfig(num_records=num_samples, seed=seed))
+    replication = simulator.replication(0)
+    return {
+        "train": replication.train,
+        "validation": replication.validation,
+        "test_environments": {"ood": replication.test},
+    }
+
+
+def _build_ihdp(num_samples: int, seed: int):
+    simulator = IHDPSimulator(IHDPConfig(num_units=num_samples, seed=seed))
+    replication = simulator.replication(0)
+    return {
+        "train": replication.train,
+        "validation": replication.validation,
+        "test_environments": {"ood": replication.test},
+    }
+
+
+_REGISTRY: Dict[str, Callable[[int, int], dict]] = {
+    "syn_8_8_8_2": lambda n, seed: _build_synthetic((8, 8, 8, 2), n, seed),
+    "syn_16_16_16_2": lambda n, seed: _build_synthetic((16, 16, 16, 2), n, seed),
+    "twins": _build_twins,
+    "ihdp": _build_ihdp,
+}
+
+_DEFAULT_SIZES: Dict[str, int] = {
+    "syn_8_8_8_2": 10000,
+    "syn_16_16_16_2": 10000,
+    "twins": 5271,
+    "ihdp": 747,
+}
+
+
+def available_benchmarks() -> list:
+    """Names accepted by :func:`load_benchmark`."""
+    return sorted(_REGISTRY)
+
+
+def load_benchmark(name: str, num_samples: Optional[int] = None, seed: int = 2024) -> dict:
+    """Build a benchmark protocol dictionary by name.
+
+    Returns a dictionary with a ``"train"`` dataset and a
+    ``"test_environments"`` mapping (and, for the real-world benchmarks, a
+    ``"validation"`` dataset).
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ValueError(f"unknown benchmark {name!r}; available: {available_benchmarks()}")
+    size = num_samples if num_samples is not None else _DEFAULT_SIZES[key]
+    return _REGISTRY[key](size, seed)

@@ -1,0 +1,26 @@
+"""Deployment diagnostics: OOD-level measurement and weight quality checks.
+
+This package implements the measurement layer the paper's conclusion lists
+as future work (estimating how far a target population is from the training
+population) plus practical checks on the learned sample weights.
+"""
+
+from .ood import (
+    OODReport,
+    assess_ood_level,
+    domain_classifier_auc,
+    moment_shift_score,
+    representation_shift,
+)
+from .weights import balance_improvement, weight_summary, weighted_correlation_report
+
+__all__ = [
+    "OODReport",
+    "assess_ood_level",
+    "domain_classifier_auc",
+    "moment_shift_score",
+    "representation_shift",
+    "weight_summary",
+    "weighted_correlation_report",
+    "balance_improvement",
+]

@@ -1,0 +1,125 @@
+"""Diagnostics for learned sample weights.
+
+The SBRL / SBRL-HAP frameworks stand or fall with the quality of the learned
+reweighting, so the library exposes the checks a practitioner should run
+after fitting:
+
+* :func:`weight_summary` — distributional summary (range, dispersion,
+  effective sample size);
+* :func:`weighted_correlation_report` — how much the reweighting reduces the
+  correlation between a designated unstable block and the outcome / effect,
+  which is the mechanism stable learning relies on;
+* :func:`balance_improvement` — how much the reweighting reduces the
+  standardised mean difference of each covariate between treatment arms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..data.dataset import CausalDataset
+
+__all__ = ["weight_summary", "weighted_correlation_report", "balance_improvement"]
+
+
+def weight_summary(weights: np.ndarray) -> Dict[str, float]:
+    """Distributional summary of a weight vector."""
+    weights = np.asarray(weights, dtype=np.float64).ravel()
+    if weights.size == 0:
+        raise ValueError("weights must be non-empty")
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    total = weights.sum()
+    ess = float(total ** 2 / np.sum(weights ** 2)) if total > 0 else 0.0
+    return {
+        "n": float(weights.size),
+        "mean": float(weights.mean()),
+        "std": float(weights.std()),
+        "min": float(weights.min()),
+        "max": float(weights.max()),
+        "effective_sample_size": ess,
+        "effective_sample_fraction": ess / weights.size,
+    }
+
+
+def _weighted_corr(x: np.ndarray, y: np.ndarray, weights: np.ndarray) -> float:
+    """Weighted Pearson correlation."""
+    weights = weights / weights.sum()
+    mean_x = np.sum(weights * x)
+    mean_y = np.sum(weights * y)
+    cov = np.sum(weights * (x - mean_x) * (y - mean_y))
+    var_x = np.sum(weights * (x - mean_x) ** 2)
+    var_y = np.sum(weights * (y - mean_y) ** 2)
+    denominator = np.sqrt(var_x * var_y)
+    if denominator < 1e-12:
+        return 0.0
+    return float(cov / denominator)
+
+
+def weighted_correlation_report(
+    dataset: CausalDataset,
+    weights: np.ndarray,
+    columns: Optional[Sequence[int]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Correlation of selected covariates with the outcome, before/after reweighting.
+
+    ``columns`` defaults to the dataset's ``"unstable"`` feature role when
+    present, otherwise to every covariate.  For each selected column the
+    report contains the unweighted and weighted absolute correlation with the
+    observed outcome; a successful stable reweighting shrinks the weighted
+    value for unstable covariates.
+    """
+    weights = np.asarray(weights, dtype=np.float64).ravel()
+    if len(weights) != len(dataset):
+        raise ValueError("weights must have one entry per dataset row")
+    if columns is None:
+        columns = dataset.feature_roles.get("unstable", np.arange(dataset.num_features))
+    uniform = np.ones(len(dataset))
+    report: Dict[str, Dict[str, float]] = {}
+    for column in np.asarray(columns, dtype=int):
+        x = dataset.covariates[:, column]
+        report[f"x{column}"] = {
+            "unweighted_abs_corr": abs(_weighted_corr(x, dataset.outcome, uniform)),
+            "weighted_abs_corr": abs(_weighted_corr(x, dataset.outcome, weights)),
+        }
+    return report
+
+
+def balance_improvement(dataset: CausalDataset, weights: np.ndarray) -> Dict[str, float]:
+    """Mean standardised mean difference (SMD) across covariates, before/after.
+
+    The SMD between treated and control groups is the textbook measure of
+    covariate balance; the Balancing Regularizer should reduce its weighted
+    version relative to the unweighted one.
+    """
+    weights = np.asarray(weights, dtype=np.float64).ravel()
+    if len(weights) != len(dataset):
+        raise ValueError("weights must have one entry per dataset row")
+    treated = dataset.treated_mask
+    control = dataset.control_mask
+    if treated.sum() == 0 or control.sum() == 0:
+        raise ValueError("both treatment arms must be present")
+
+    def smd(sample_weights: np.ndarray) -> float:
+        values = []
+        for column in range(dataset.num_features):
+            x = dataset.covariates[:, column]
+            w_t = sample_weights[treated] / sample_weights[treated].sum()
+            w_c = sample_weights[control] / sample_weights[control].sum()
+            mean_t = np.sum(w_t * x[treated])
+            mean_c = np.sum(w_c * x[control])
+            var_t = np.sum(w_t * (x[treated] - mean_t) ** 2)
+            var_c = np.sum(w_c * (x[control] - mean_c) ** 2)
+            pooled = np.sqrt(0.5 * (var_t + var_c))
+            values.append(abs(mean_t - mean_c) / pooled if pooled > 1e-12 else 0.0)
+        return float(np.mean(values))
+
+    unweighted = smd(np.ones(len(dataset)))
+    weighted = smd(weights)
+    return {
+        "unweighted_smd": unweighted,
+        "weighted_smd": weighted,
+        "relative_improvement": (unweighted - weighted) / unweighted if unweighted > 0 else 0.0,
+    }

@@ -1,0 +1,59 @@
+"""Experiment harness: protocols, runner, tables, figures and search."""
+
+from .figures import (
+    FigureResult,
+    figure3_pehe_curves,
+    figure4_f1_stability,
+    figure5_decorrelation,
+    figure6_hyperparameter_sensitivity,
+)
+from .protocols import (
+    SCALES,
+    ExperimentScale,
+    experiment_config,
+    get_scale,
+    ihdp_protocol,
+    synthetic_protocol,
+    twins_protocol,
+)
+from .reporting import format_matrix, format_series, format_table
+from .runner import MethodResult, MethodSpec, default_method_grid, run_method, run_methods
+from .search import SearchSpace, SearchTrial, random_search
+from .tables import (
+    TableResult,
+    table1_synthetic,
+    table2_ablation,
+    table3_realworld,
+    table6_training_cost,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "SCALES",
+    "get_scale",
+    "experiment_config",
+    "synthetic_protocol",
+    "twins_protocol",
+    "ihdp_protocol",
+    "MethodSpec",
+    "MethodResult",
+    "run_method",
+    "run_methods",
+    "default_method_grid",
+    "TableResult",
+    "table1_synthetic",
+    "table2_ablation",
+    "table3_realworld",
+    "table6_training_cost",
+    "FigureResult",
+    "figure3_pehe_curves",
+    "figure4_f1_stability",
+    "figure5_decorrelation",
+    "figure6_hyperparameter_sensitivity",
+    "SearchSpace",
+    "SearchTrial",
+    "random_search",
+    "format_table",
+    "format_series",
+    "format_matrix",
+]

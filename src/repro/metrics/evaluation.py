@@ -1,0 +1,197 @@
+"""Evaluation metrics for heterogeneous treatment effect estimation.
+
+Implements the metrics reported in the paper's evaluation section:
+
+* PEHE — precision in estimating heterogeneous effects (root mean squared
+  error of the predicted individual treatment effect),
+* ``epsilon_ATE`` — absolute bias of the average treatment effect,
+* F1 score / accuracy for factual and counterfactual outcome prediction
+  (the synthetic and Twins outcomes are binary),
+* environment-level stability aggregates (mean and "stability" variance
+  across environments, following Kuang et al. 2020 as cited by the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "pehe",
+    "ate",
+    "ate_error",
+    "f1_score",
+    "accuracy",
+    "EffectEstimates",
+    "evaluate_effect_predictions",
+    "EnvironmentReport",
+    "StabilityReport",
+    "aggregate_across_environments",
+]
+
+
+def _as_1d(values, name: str) -> np.ndarray:
+    array = np.asarray(values, dtype=np.float64).ravel()
+    if array.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    return array
+
+
+def pehe(true_ite: Sequence[float], predicted_ite: Sequence[float]) -> float:
+    """Root of the Precision in Estimation of Heterogeneous Effect.
+
+    ``PEHE = sqrt( mean( (tau_hat_i - tau_i)^2 ) )`` following Hill (2011)
+    and the definition in Section V.B of the paper.
+    """
+    true = _as_1d(true_ite, "true_ite")
+    pred = _as_1d(predicted_ite, "predicted_ite")
+    if true.shape != pred.shape:
+        raise ValueError("true and predicted ITE must have the same shape")
+    return float(np.sqrt(np.mean((pred - true) ** 2)))
+
+
+def ate(y1: Sequence[float], y0: Sequence[float]) -> float:
+    """Average treatment effect ``E[Y1 - Y0]``."""
+    y1 = _as_1d(y1, "y1")
+    y0 = _as_1d(y0, "y0")
+    if y1.shape != y0.shape:
+        raise ValueError("y1 and y0 must have the same shape")
+    return float(np.mean(y1 - y0))
+
+
+def ate_error(true_ite: Sequence[float], predicted_ite: Sequence[float]) -> float:
+    """Absolute ATE bias ``| ATE - ATE_hat |`` (the paper's epsilon_ATE)."""
+    true = _as_1d(true_ite, "true_ite")
+    pred = _as_1d(predicted_ite, "predicted_ite")
+    if true.shape != pred.shape:
+        raise ValueError("true and predicted ITE must have the same shape")
+    return float(abs(true.mean() - pred.mean()))
+
+
+def accuracy(y_true: Sequence[float], y_pred: Sequence[float], threshold: float = 0.5) -> float:
+    """Classification accuracy after thresholding predictions."""
+    true = _as_1d(y_true, "y_true")
+    pred = (_as_1d(y_pred, "y_pred") >= threshold).astype(np.float64)
+    return float(np.mean(true.astype(np.float64) == pred))
+
+
+def f1_score(y_true: Sequence[float], y_pred: Sequence[float], threshold: float = 0.5) -> float:
+    """Binary F1 score; predictions are thresholded at ``threshold``.
+
+    Returns 0.0 when there are no positive predictions and no positive
+    labels (the degenerate case), matching scikit-learn's default behaviour.
+    """
+    true = _as_1d(y_true, "y_true") >= 0.5
+    pred = _as_1d(y_pred, "y_pred") >= threshold
+    if true.shape != pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    tp = float(np.sum(true & pred))
+    fp = float(np.sum(~true & pred))
+    fn = float(np.sum(true & ~pred))
+    if tp == 0.0 and (fp > 0.0 or fn > 0.0):
+        return 0.0
+    if tp == 0.0 and fp == 0.0 and fn == 0.0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return float(2.0 * precision * recall / (precision + recall))
+
+
+@dataclass
+class EffectEstimates:
+    """Container for the four potential-outcome arrays of one evaluation."""
+
+    mu0_true: np.ndarray
+    mu1_true: np.ndarray
+    mu0_pred: np.ndarray
+    mu1_pred: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.mu0_true = _as_1d(self.mu0_true, "mu0_true")
+        self.mu1_true = _as_1d(self.mu1_true, "mu1_true")
+        self.mu0_pred = _as_1d(self.mu0_pred, "mu0_pred")
+        self.mu1_pred = _as_1d(self.mu1_pred, "mu1_pred")
+        shapes = {a.shape for a in (self.mu0_true, self.mu1_true, self.mu0_pred, self.mu1_pred)}
+        if len(shapes) != 1:
+            raise ValueError("all potential-outcome arrays must have the same shape")
+
+    @property
+    def true_ite(self) -> np.ndarray:
+        return self.mu1_true - self.mu0_true
+
+    @property
+    def predicted_ite(self) -> np.ndarray:
+        return self.mu1_pred - self.mu0_pred
+
+
+def evaluate_effect_predictions(
+    estimates: EffectEstimates,
+    treatment: Optional[np.ndarray] = None,
+    binary_outcome: bool = False,
+) -> Dict[str, float]:
+    """Compute the paper's metric set for one population.
+
+    Always returns PEHE and epsilon_ATE.  When ``treatment`` is given and the
+    outcome is binary, also returns factual / counterfactual F1 scores
+    (used in Fig. 4).
+    """
+    metrics = {
+        "pehe": pehe(estimates.true_ite, estimates.predicted_ite),
+        "ate_error": ate_error(estimates.true_ite, estimates.predicted_ite),
+    }
+    if treatment is not None and binary_outcome:
+        treatment = _as_1d(treatment, "treatment").astype(int)
+        factual_true = np.where(treatment == 1, estimates.mu1_true, estimates.mu0_true)
+        factual_pred = np.where(treatment == 1, estimates.mu1_pred, estimates.mu0_pred)
+        counter_true = np.where(treatment == 1, estimates.mu0_true, estimates.mu1_true)
+        counter_pred = np.where(treatment == 1, estimates.mu0_pred, estimates.mu1_pred)
+        metrics["f1_factual"] = f1_score(factual_true, factual_pred)
+        metrics["f1_counterfactual"] = f1_score(counter_true, counter_pred)
+        metrics["accuracy_factual"] = accuracy(factual_true, factual_pred)
+        metrics["accuracy_counterfactual"] = accuracy(counter_true, counter_pred)
+    return metrics
+
+
+@dataclass
+class EnvironmentReport:
+    """Metrics for one (method, environment) evaluation."""
+
+    environment: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class StabilityReport:
+    """Mean and stability (variance across environments) of each metric.
+
+    Following the paper (Section V.B), the "average" of a metric across the
+    environment suite is its mean, and the "stability" is the mean squared
+    deviation from that average.  Lower is better for both when the metric
+    is an error, and a lower stability value is better for any metric.
+    """
+
+    mean: Dict[str, float]
+    stability: Dict[str, float]
+    std: Dict[str, float]
+    per_environment: List[EnvironmentReport]
+
+
+def aggregate_across_environments(reports: Iterable[EnvironmentReport]) -> StabilityReport:
+    """Aggregate per-environment metric dictionaries into mean/stability."""
+    reports = list(reports)
+    if not reports:
+        raise ValueError("need at least one environment report")
+    keys = set(reports[0].metrics)
+    for report in reports[1:]:
+        keys &= set(report.metrics)
+    mean: Dict[str, float] = {}
+    stability: Dict[str, float] = {}
+    std: Dict[str, float] = {}
+    for key in sorted(keys):
+        values = np.array([report.metrics[key] for report in reports], dtype=np.float64)
+        mean[key] = float(values.mean())
+        stability[key] = float(np.mean((values - values.mean()) ** 2))
+        std[key] = float(values.std())
+    return StabilityReport(mean=mean, stability=stability, std=std, per_environment=reports)

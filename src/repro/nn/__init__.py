@@ -1,0 +1,36 @@
+"""Minimal NumPy-based neural-network substrate (autodiff, modules, optim).
+
+This package replaces the TensorFlow 1.15 dependency of the original
+SBRL-HAP implementation.  See ``DESIGN.md`` for the substitution rationale.
+"""
+
+from . import functional
+from .init import he_normal, ones, xavier_normal, xavier_uniform, zeros
+from .modules import MLP, Linear, Module, RepresentationNetwork, Sequential
+from .optim import SGD, Adam, ConstantSchedule, ExponentialDecay, Optimizer
+from .tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concatenate",
+    "stack",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "Module",
+    "Linear",
+    "Sequential",
+    "MLP",
+    "RepresentationNetwork",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "ConstantSchedule",
+    "ExponentialDecay",
+    "xavier_uniform",
+    "xavier_normal",
+    "he_normal",
+    "zeros",
+    "ones",
+]

@@ -1,0 +1,117 @@
+"""Functional interface over :class:`repro.nn.tensor.Tensor`.
+
+Provides activations and loss functions used by the SBRL-HAP backbones.
+All functions accept tensors or array-likes and return tensors, so they can
+be dropped into both training graphs and pure NumPy evaluation code.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from .tensor import ArrayLike, Tensor, as_tensor
+
+__all__ = [
+    "elu",
+    "relu",
+    "sigmoid",
+    "tanh",
+    "softplus",
+    "linear",
+    "mse_loss",
+    "weighted_mse_loss",
+    "binary_cross_entropy",
+    "weighted_binary_cross_entropy",
+    "l2_penalty",
+    "normalize_rows",
+]
+
+
+def elu(x: ArrayLike, alpha: float = 1.0) -> Tensor:
+    """Exponential linear unit, the activation used throughout the paper."""
+    return as_tensor(x).elu(alpha)
+
+
+def relu(x: ArrayLike) -> Tensor:
+    """Rectified linear unit."""
+    return as_tensor(x).relu()
+
+
+def sigmoid(x: ArrayLike) -> Tensor:
+    """Logistic sigmoid."""
+    return as_tensor(x).sigmoid()
+
+
+def tanh(x: ArrayLike) -> Tensor:
+    """Hyperbolic tangent."""
+    return as_tensor(x).tanh()
+
+
+def softplus(x: ArrayLike) -> Tensor:
+    """Numerically stable ``log(1 + exp(x))``."""
+    return as_tensor(x).softplus()
+
+
+def linear(x: ArrayLike, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight + bias``."""
+    out = as_tensor(x).matmul(weight)
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def mse_loss(prediction: ArrayLike, target: ArrayLike) -> Tensor:
+    """Mean squared error."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def weighted_mse_loss(prediction: ArrayLike, target: ArrayLike, weights: ArrayLike) -> Tensor:
+    """Sample-weighted mean squared error, Eq. (13) of the paper.
+
+    ``weights`` are not assumed to sum to ``n``; the loss divides by ``n`` so
+    the scale matches the unweighted loss when all weights are one.
+    """
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    weights = as_tensor(weights)
+    diff = prediction - target
+    return (weights * diff * diff).mean()
+
+
+def binary_cross_entropy(prediction: ArrayLike, target: ArrayLike, eps: float = 1e-7) -> Tensor:
+    """Binary cross-entropy on probabilities in ``(0, 1)``."""
+    prediction = as_tensor(prediction).clip(eps, 1.0 - eps)
+    target = as_tensor(target)
+    losses = -(target * prediction.log() + (1.0 - target) * (1.0 - prediction).log())
+    return losses.mean()
+
+
+def weighted_binary_cross_entropy(
+    prediction: ArrayLike, target: ArrayLike, weights: ArrayLike, eps: float = 1e-7
+) -> Tensor:
+    """Sample-weighted binary cross-entropy (used for binary outcomes)."""
+    prediction = as_tensor(prediction).clip(eps, 1.0 - eps)
+    target = as_tensor(target)
+    weights = as_tensor(weights)
+    losses = -(target * prediction.log() + (1.0 - target) * (1.0 - prediction).log())
+    return (weights * losses).mean()
+
+
+def l2_penalty(parameters) -> Tensor:
+    """Sum of squared parameter values (the paper's ``R_l2`` term)."""
+    total: Union[Tensor, float] = as_tensor(0.0)
+    for param in parameters:
+        total = total + (param * param).sum()
+    return total
+
+
+def normalize_rows(x: ArrayLike, eps: float = 1e-8) -> Tensor:
+    """Project each row onto the unit sphere (the paper's ``rep_normalization``)."""
+    x = as_tensor(x)
+    norms = (x * x).sum(axis=1, keepdims=True).sqrt() + eps
+    return x / norms

@@ -1,0 +1,40 @@
+"""Weight initialisation schemes for the neural-network substrate."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "he_normal", "zeros", "ones"]
+
+
+def xavier_uniform(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a (fan_in, fan_out) matrix."""
+    fan_in, fan_out = shape
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    fan_in, fan_out = shape
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_normal(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """He initialisation, appropriate for ReLU-family activations."""
+    fan_in, _ = shape
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zero array (used for biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape) -> np.ndarray:
+    """All-one array (used for the initial sample weights)."""
+    return np.ones(shape, dtype=np.float64)

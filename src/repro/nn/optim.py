@@ -1,0 +1,144 @@
+"""Optimisers and learning-rate schedules for the NN substrate.
+
+The paper trains with Adam and an exponentially decaying learning rate; both
+are provided here, along with plain SGD used in a handful of tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam", "ExponentialDecay", "ConstantSchedule"]
+
+
+class ConstantSchedule:
+    """A learning-rate schedule that never changes."""
+
+    def __init__(self, learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+        self.learning_rate = float(learning_rate)
+
+    def __call__(self, step: int) -> float:
+        return self.learning_rate
+
+
+class ExponentialDecay:
+    """Exponentially decaying learning rate, ``lr * decay^(step / decay_steps)``."""
+
+    def __init__(self, learning_rate: float, decay_rate: float = 0.97, decay_steps: int = 100) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0 < decay_rate <= 1:
+            raise ValueError("decay rate must be in (0, 1]")
+        if decay_steps <= 0:
+            raise ValueError("decay steps must be positive")
+        self.learning_rate = float(learning_rate)
+        self.decay_rate = float(decay_rate)
+        self.decay_steps = int(decay_steps)
+
+    def __call__(self, step: int) -> float:
+        return self.learning_rate * self.decay_rate ** (step / self.decay_steps)
+
+
+class Optimizer:
+    """Base optimiser: holds parameters and a learning-rate schedule."""
+
+    def __init__(self, parameters: Iterable[Tensor], schedule) -> None:
+        self.parameters: List[Tensor] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if isinstance(schedule, (int, float)):
+            schedule = ConstantSchedule(float(schedule))
+        self.schedule = schedule
+        self.step_count = 0
+
+    @property
+    def current_lr(self) -> float:
+        return self.schedule(self.step_count)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float = 1e-2, momentum: float = 0.0) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        lr = self.current_lr
+        for param in self.parameters:
+            if param.grad is None:
+                continue
+            if self.momentum > 0:
+                velocity = self._velocity.get(id(param))
+                if velocity is None:
+                    velocity = np.zeros_like(param.data)
+                velocity = self.momentum * velocity + param.grad
+                self._velocity[id(param)] = velocity
+                update = velocity
+            else:
+                update = param.grad
+            param.data = param.data - lr * update
+        self.step_count += 1
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015), the optimiser used in the paper."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        schedule=None,
+    ) -> None:
+        super().__init__(parameters, schedule if schedule is not None else lr)
+        beta1, beta2 = betas
+        if not 0 <= beta1 < 1 or not 0 <= beta2 < 1:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        lr = self.current_lr
+        self.step_count += 1
+        t = self.step_count
+        for param in self.parameters:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay > 0:
+                grad = grad + self.weight_decay * param.data
+            m = self._m.get(id(param))
+            v = self._v.get(id(param))
+            if m is None:
+                m = np.zeros_like(param.data)
+                v = np.zeros_like(param.data)
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad * grad
+            self._m[id(param)] = m
+            self._v[id(param)] = v
+            m_hat = m / (1 - self.beta1 ** t)
+            v_hat = v / (1 - self.beta2 ** t)
+            param.data = param.data - lr * m_hat / (np.sqrt(v_hat) + self.eps)

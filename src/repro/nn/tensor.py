@@ -1,0 +1,567 @@
+"""Reverse-mode automatic differentiation over NumPy arrays.
+
+The paper's reference implementation uses TensorFlow 1.15.  That dependency
+is not available in this environment, so the repository ships its own small
+but complete autodiff engine.  The engine supports everything the SBRL-HAP
+training procedure needs:
+
+* broadcasting arithmetic (``+``, ``-``, ``*``, ``/``, ``**``),
+* matrix multiplication,
+* reductions (``sum``, ``mean``, ``var``) over arbitrary axes,
+* elementwise non-linearities (exp, log, sqrt, tanh, sigmoid, ELU, ReLU,
+  cos, abs, clip),
+* shape manipulation (reshape, transpose, concatenation, slicing),
+* gradient accumulation through arbitrary DAGs via topological ordering.
+
+Gradients are validated against central finite differences in
+``tests/test_nn_tensor.py`` and the hypothesis suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence[float], "Tensor"]
+
+__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled", "concatenate", "stack"]
+
+
+class _GradMode:
+    """Process-wide switch used by :func:`no_grad`."""
+
+    enabled = True
+
+
+class no_grad:
+    """Context manager disabling graph construction (inference mode)."""
+
+    def __enter__(self) -> "no_grad":
+        self._previous = _GradMode.enabled
+        _GradMode.enabled = False
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _GradMode.enabled = self._previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations are recorded onto the autodiff graph."""
+    return _GradMode.enabled
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over broadcast dimensions so it matches ``shape``."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over dimensions that were of size 1 in the original shape.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy-backed tensor participating in reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Any array-like value.  Stored as ``float64`` for numerical fidelity
+        with the finite-difference gradient checks.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` when
+        :meth:`backward` is called on a downstream scalar.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name", "_route")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Tuple["Tensor", ...] = (),
+        name: Optional[str] = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple[Tensor, ...] = _parents if self.requires_grad or _parents else ()
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Basic introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a scalar tensor as a Python float."""
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # ------------------------------------------------------------------ #
+    # Graph machinery
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        ``grad`` defaults to 1 for scalar tensors.  Gradients accumulate in
+        the ``grad`` attribute of every reachable tensor that has
+        ``requires_grad=True``.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        # Iterative topological sort (deep graphs, e.g. long sums of HSIC
+        # terms, would overflow Python's recursion limit otherwise).
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and not node._parents:
+                node._accumulate(node_grad)
+            elif node.requires_grad and node._parents:
+                # Leaf check: a node with parents is intermediate; still allow
+                # explicit retention by accumulating when it is a parameter.
+                if node._backward is None:
+                    node._accumulate(node_grad)
+            if node._backward is not None:
+                node._backward_dispatch(node_grad, grads)
+
+    def _backward_dispatch(self, grad: np.ndarray, grads: dict) -> None:
+        """Invoke the stored backward closure, routing into ``grads``."""
+        assert self._backward is not None
+        self._route = grads  # type: ignore[attr-defined]
+        try:
+            self._backward(grad)
+        finally:
+            del self._route  # type: ignore[attr-defined]
+
+    def _send(self, parent: "Tensor", grad: np.ndarray) -> None:
+        """Accumulate ``grad`` for ``parent`` during backprop."""
+        grads: dict = self._route  # type: ignore[attr-defined]
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), parent.data.shape)
+        key = id(parent)
+        if key in grads:
+            grads[key] = grads[key] + grad
+        else:
+            grads[key] = grad
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        out_data = self.data + other_t.data
+
+        def backward(grad: np.ndarray, self_t=self, oth=other_t) -> None:
+            out._send(self_t, grad)
+            out._send(oth, grad)
+
+        out = Tensor._make(out_data, (self, other_t), backward)
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray, self_t=None) -> None:
+            out._send(self, -grad)
+
+        out = Tensor._make(-self.data, (self,), backward)
+        return out
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        out_data = self.data * other_t.data
+
+        def backward(grad: np.ndarray, self_t=self, oth=other_t) -> None:
+            out._send(self_t, grad * oth.data)
+            out._send(oth, grad * self_t.data)
+
+        out = Tensor._make(out_data, (self, other_t), backward)
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        out_data = self.data / other_t.data
+
+        def backward(grad: np.ndarray, self_t=self, oth=other_t) -> None:
+            out._send(self_t, grad / oth.data)
+            out._send(oth, -grad * self_t.data / (oth.data ** 2))
+
+        out = Tensor._make(out_data, (self, other_t), backward)
+        return out
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("Tensor.__pow__ only supports scalar exponents")
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray, self_t=self, p=float(exponent)) -> None:
+            out._send(self_t, grad * p * (self_t.data ** (p - 1.0)))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        return self.matmul(other)
+
+    def matmul(self, other: ArrayLike) -> "Tensor":
+        """Matrix multiplication with gradient support for 1-D and 2-D operands."""
+        other_t = as_tensor(other)
+        out_data = self.data @ other_t.data
+
+        def backward(grad: np.ndarray, a=self, b=other_t) -> None:
+            a_data, b_data = a.data, b.data
+            grad = np.asarray(grad, dtype=np.float64)
+            if a_data.ndim == 1 and b_data.ndim == 1:
+                out._send(a, grad * b_data)
+                out._send(b, grad * a_data)
+                return
+            a2 = a_data if a_data.ndim > 1 else a_data[None, :]
+            b2 = b_data if b_data.ndim > 1 else b_data[:, None]
+            g2 = grad
+            if a_data.ndim == 1:
+                g2 = g2[None, ...]
+            if b_data.ndim == 1:
+                g2 = g2[..., None]
+            grad_a = g2 @ np.swapaxes(b2, -1, -2)
+            grad_b = np.swapaxes(a2, -1, -2) @ g2
+            if a_data.ndim == 1:
+                grad_a = grad_a.reshape(a_data.shape)
+            if b_data.ndim == 1:
+                grad_b = grad_b.reshape(b_data.shape)
+            out._send(a, grad_a)
+            out._send(b, grad_b)
+
+        out = Tensor._make(out_data, (self, other_t), backward)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray, self_t=self, ax=axis, keep=keepdims) -> None:
+            grad = np.asarray(grad, dtype=np.float64)
+            if ax is None:
+                expanded = np.broadcast_to(grad, self_t.data.shape)
+            else:
+                if not keep:
+                    grad = np.expand_dims(grad, ax)
+                expanded = np.broadcast_to(grad, self_t.data.shape)
+            out._send(self_t, expanded)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) / float(count)
+
+    def var(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        centred = self - self.mean(axis=axis, keepdims=True)
+        return (centred * centred).mean(axis=axis, keepdims=keepdims)
+
+    # ------------------------------------------------------------------ #
+    # Elementwise non-linearities
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray, self_t=self) -> None:
+            out._send(self_t, grad * out.data)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray, self_t=self) -> None:
+            out._send(self_t, grad / self_t.data)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray, self_t=self) -> None:
+            out._send(self_t, grad * 0.5 / np.maximum(out.data, 1e-12))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+
+        def backward(grad: np.ndarray, self_t=self) -> None:
+            out._send(self_t, grad * np.sign(self_t.data))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray, self_t=self) -> None:
+            out._send(self_t, grad * (1.0 - out.data ** 2))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+
+        def backward(grad: np.ndarray, self_t=self) -> None:
+            out._send(self_t, grad * out.data * (1.0 - out.data))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def relu(self) -> "Tensor":
+        out_data = np.maximum(self.data, 0.0)
+
+        def backward(grad: np.ndarray, self_t=self) -> None:
+            out._send(self_t, grad * (self_t.data > 0.0))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def elu(self, alpha: float = 1.0) -> "Tensor":
+        positive = self.data > 0.0
+        out_data = np.where(positive, self.data, alpha * (np.exp(np.minimum(self.data, 0.0)) - 1.0))
+
+        def backward(grad: np.ndarray, self_t=self, a=alpha, pos=positive) -> None:
+            local = np.where(pos, 1.0, out.data + a)
+            out._send(self_t, grad * local)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def softplus(self) -> "Tensor":
+        out_data = np.logaddexp(0.0, self.data)
+
+        def backward(grad: np.ndarray, self_t=self) -> None:
+            sig = 1.0 / (1.0 + np.exp(-np.clip(self_t.data, -60.0, 60.0)))
+            out._send(self_t, grad * sig)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def cos(self) -> "Tensor":
+        out_data = np.cos(self.data)
+
+        def backward(grad: np.ndarray, self_t=self) -> None:
+            out._send(self_t, -grad * np.sin(self_t.data))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def sin(self) -> "Tensor":
+        out_data = np.sin(self.data)
+
+        def backward(grad: np.ndarray, self_t=self) -> None:
+            out._send(self_t, grad * np.cos(self_t.data))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        out_data = np.clip(self.data, low, high)
+
+        def backward(grad: np.ndarray, self_t=self, lo=low, hi=high) -> None:
+            mask = (self_t.data >= lo) & (self_t.data <= hi)
+            out._send(self_t, grad * mask)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def maximum(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        out_data = np.maximum(self.data, other_t.data)
+
+        def backward(grad: np.ndarray, a=self, b=other_t) -> None:
+            mask = a.data >= b.data
+            out._send(a, grad * mask)
+            out._send(b, grad * (~mask))
+
+        out = Tensor._make(out_data, (self, other_t), backward)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray, self_t=self) -> None:
+            out._send(self_t, np.asarray(grad).reshape(self_t.data.shape))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def transpose(self, axes: Optional[Tuple[int, ...]] = None) -> "Tensor":
+        out_data = self.data.transpose(axes)
+
+        def backward(grad: np.ndarray, self_t=self, ax=axes) -> None:
+            if ax is None:
+                out._send(self_t, np.asarray(grad).transpose())
+            else:
+                inverse = np.argsort(ax)
+                out._send(self_t, np.asarray(grad).transpose(inverse))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray, self_t=self, idx=index) -> None:
+            full = np.zeros_like(self_t.data)
+            np.add.at(full, idx, np.asarray(grad, dtype=np.float64))
+            out._send(self_t, full)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+
+def as_tensor(value: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Coerce ``value`` into a :class:`Tensor` (no copy when already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing to each input."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad, dtype=np.float64)
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(start, stop)
+            out._send(tensor, grad[tuple(slicer)])
+
+    out = Tensor._make(out_data, tuple(tensors), backward)
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad, dtype=np.float64)
+        split = np.moveaxis(grad, axis, 0)
+        for tensor, piece in zip(tensors, split):
+            out._send(tensor, piece)
+
+    out = Tensor._make(out_data, tuple(tensors), backward)
+    return out

@@ -1,0 +1,84 @@
+"""Shared fixtures: small datasets and fast training configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import BackboneConfig, RegularizerConfig, SBRLConfig, TrainingConfig
+from repro.data.dataset import CausalDataset
+from repro.data.synthetic import SyntheticConfig, SyntheticGenerator
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def synthetic_generator() -> SyntheticGenerator:
+    """A small Syn_4_4_4_2 generator shared across tests."""
+    return SyntheticGenerator(
+        SyntheticConfig(
+            num_instruments=4, num_confounders=4, num_adjustments=4, num_unstable=2, seed=3
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def small_protocol(synthetic_generator) -> dict:
+    """Training population (rho=2.5) + two test environments, 250 units each."""
+    return synthetic_generator.generate_train_test_protocol(
+        num_samples=250, train_rho=2.5, test_rhos=(2.5, -2.5), seed=3
+    )
+
+
+@pytest.fixture(scope="session")
+def small_train(small_protocol) -> CausalDataset:
+    return small_protocol["train"]
+
+
+@pytest.fixture(scope="session")
+def small_ood(small_protocol) -> CausalDataset:
+    return small_protocol["test_environments"][-2.5]
+
+
+@pytest.fixture()
+def fast_config() -> SBRLConfig:
+    """A configuration that trains in well under a second."""
+    return SBRLConfig(
+        backbone=BackboneConfig(rep_layers=2, rep_units=12, head_layers=2, head_units=8),
+        regularizers=RegularizerConfig(
+            alpha=1e-2, gamma1=1.0, gamma2=1e-2, gamma3=1e-2, max_pairs_per_layer=6
+        ),
+        training=TrainingConfig(
+            iterations=25,
+            learning_rate=1e-2,
+            weight_update_every=5,
+            weight_steps_per_iteration=1,
+            evaluation_interval=10,
+            early_stopping_patience=None,
+            seed=0,
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_continuous_dataset(rng) -> CausalDataset:
+    """A small continuous-outcome dataset with a known constant effect of 2."""
+    n = 200
+    covariates = rng.normal(size=(n, 5))
+    propensity = 1.0 / (1.0 + np.exp(-covariates[:, 0]))
+    treatment = (rng.uniform(size=n) < propensity).astype(float)
+    mu0 = covariates @ np.array([1.0, 0.5, -0.5, 0.2, 0.0])
+    mu1 = mu0 + 2.0
+    outcome = np.where(treatment == 1, mu1, mu0) + rng.normal(0, 0.1, n)
+    return CausalDataset(
+        covariates=covariates,
+        treatment=treatment,
+        outcome=outcome,
+        mu0=mu0,
+        mu1=mu1,
+        environment="tiny-continuous",
+        binary_outcome=False,
+    )

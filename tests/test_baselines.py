@@ -1,0 +1,124 @@
+"""Unit tests for the classical baseline estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import IPWEstimator, LogisticRegression, RidgeRegression, SLearner, TLearner
+from repro.data.dataset import CausalDataset
+
+
+class TestRidgeRegression:
+    def test_recovers_linear_coefficients(self, rng):
+        features = rng.normal(size=(300, 4))
+        coefficients = np.array([1.0, -2.0, 0.5, 0.0])
+        targets = features @ coefficients + 3.0
+        model = RidgeRegression(alpha=1e-6).fit(features, targets)
+        np.testing.assert_allclose(model.coefficients, coefficients, atol=1e-6)
+        assert model.intercept == pytest.approx(3.0, abs=1e-6)
+
+    def test_regularisation_shrinks_coefficients(self, rng):
+        features = rng.normal(size=(50, 3))
+        targets = features @ np.array([5.0, 5.0, 5.0])
+        weak = RidgeRegression(alpha=1e-6).fit(features, targets)
+        strong = RidgeRegression(alpha=1e3).fit(features, targets)
+        assert np.linalg.norm(strong.coefficients) < np.linalg.norm(weak.coefficients)
+
+    def test_sample_weights_focus_fit(self, rng):
+        features = rng.normal(size=(200, 1))
+        targets = np.where(features[:, 0] > 0, 2.0 * features[:, 0], -1.0 * features[:, 0])
+        weights = (features[:, 0] > 0).astype(float)
+        model = RidgeRegression(alpha=1e-6).fit(features, targets, sample_weight=weights)
+        assert model.coefficients[0] == pytest.approx(2.0, abs=0.1)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RidgeRegression().predict(np.zeros((2, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RidgeRegression(alpha=-1)
+        with pytest.raises(ValueError):
+            RidgeRegression().fit(np.zeros((3, 2)), np.zeros(4))
+
+
+class TestLogisticRegression:
+    def test_separable_problem(self, rng):
+        features = rng.normal(size=(400, 2))
+        labels = (features[:, 0] + 0.5 * features[:, 1] > 0).astype(float)
+        model = LogisticRegression().fit(features, labels)
+        accuracy = (model.predict(features) == labels).mean()
+        assert accuracy > 0.95
+
+    def test_probabilities_in_unit_interval(self, rng):
+        features = rng.normal(size=(100, 3))
+        labels = (rng.uniform(size=100) > 0.5).astype(float)
+        model = LogisticRegression().fit(features, labels)
+        probabilities = model.predict_proba(features)
+        assert np.all(probabilities > 0) and np.all(probabilities < 1)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict_proba(np.zeros((2, 2)))
+
+
+@pytest.fixture()
+def confounded_dataset(rng):
+    """Continuous-outcome dataset with confounding and true effect 3."""
+    n = 800
+    covariates = rng.normal(size=(n, 4))
+    propensity = 1.0 / (1.0 + np.exp(-1.5 * covariates[:, 0]))
+    treatment = (rng.uniform(size=n) < propensity).astype(float)
+    mu0 = 2.0 * covariates[:, 0] + covariates[:, 1]
+    mu1 = mu0 + 3.0
+    outcome = np.where(treatment == 1, mu1, mu0) + 0.1 * rng.normal(size=n)
+    return CausalDataset(
+        covariates=covariates, treatment=treatment, outcome=outcome, mu0=mu0, mu1=mu1,
+        binary_outcome=False,
+    )
+
+
+class TestMetaLearners:
+    def test_tlearner_recovers_constant_effect(self, confounded_dataset):
+        learner = TLearner(alpha=1e-3).fit(confounded_dataset)
+        ate = learner.predict_ate(confounded_dataset.covariates)
+        assert ate == pytest.approx(3.0, abs=0.2)
+
+    def test_slearner_recovers_constant_effect(self, confounded_dataset):
+        learner = SLearner(alpha=1e-3).fit(confounded_dataset)
+        ate = learner.predict_ate(confounded_dataset.covariates)
+        assert ate == pytest.approx(3.0, abs=0.3)
+
+    def test_ipw_recovers_constant_effect(self, confounded_dataset):
+        learner = IPWEstimator(alpha=1e-3).fit(confounded_dataset)
+        ate = learner.predict_ate(confounded_dataset.covariates)
+        assert ate == pytest.approx(3.0, abs=0.3)
+        assert learner.propensities_ is not None
+
+    def test_evaluate_interface(self, confounded_dataset):
+        learner = TLearner().fit(confounded_dataset)
+        metrics = learner.evaluate(confounded_dataset)
+        assert {"pehe", "ate_error"} <= set(metrics)
+        assert metrics["pehe"] < 1.0
+
+    def test_predict_ite_shape(self, confounded_dataset):
+        learner = SLearner().fit(confounded_dataset)
+        ite = learner.predict_ite(confounded_dataset.covariates[:10])
+        assert ite.shape == (10,)
+
+    def test_tlearner_requires_both_arms(self, rng):
+        dataset = CausalDataset(
+            covariates=rng.normal(size=(20, 2)),
+            treatment=np.ones(20),
+            outcome=np.zeros(20),
+            mu0=np.zeros(20),
+            mu1=np.zeros(20),
+            binary_outcome=False,
+        )
+        with pytest.raises(ValueError):
+            TLearner().fit(dataset)
+
+    def test_ipw_clip_validation(self):
+        with pytest.raises(ValueError):
+            IPWEstimator(clip=0.9)

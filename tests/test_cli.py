@@ -1,0 +1,54 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table99"])
+
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {"table1", "table2", "table3", "table6", "fig3", "fig4", "fig5", "fig6"}
+
+    def test_scale_choices(self):
+        args = build_parser().parse_args(["run", "table2", "--scale", "smoke"])
+        assert args.scale == "smoke"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table2", "--scale", "huge"])
+
+
+class TestCommands:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "table1" in output and "syn_8_8_8_2" in output
+
+    def test_ood_command(self, capsys):
+        assert main(["ood", "--benchmark", "syn_8_8_8_2", "--num-samples", "300", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "OOD level" in output
+        assert "severity" in output
+
+    @pytest.mark.slow
+    def test_run_table2_smoke(self, capsys):
+        assert main(["run", "table2", "--scale", "smoke"]) == 0
+        output = capsys.readouterr().out
+        assert "Table II" in output
+
+    @pytest.mark.slow
+    def test_quickstart_smoke(self, capsys):
+        assert main(
+            ["quickstart", "--benchmark", "ihdp", "--scale", "smoke", "--seed", "1"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "Quickstart on ihdp" in output
+        assert "CFR+SBRL-HAP" in output

@@ -1,0 +1,181 @@
+"""Unit tests for the TARNet / CFR / DeR-CFR backbones."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.backbones import BACKBONE_REGISTRY, CFR, DeRCFR, TARNet, build_backbone
+from repro.core.backbones.base import select_factual_rows
+from repro.core.config import BackboneConfig, RegularizerConfig
+from repro.nn.tensor import Tensor, as_tensor
+
+
+@pytest.fixture()
+def small_config():
+    return BackboneConfig(rep_layers=2, rep_units=10, head_layers=2, head_units=6)
+
+
+@pytest.fixture()
+def batch(rng):
+    n, d = 60, 7
+    covariates = rng.normal(size=(n, d))
+    treatment = (rng.uniform(size=n) < 0.5).astype(float)
+    outcome = (rng.uniform(size=n) < 0.5).astype(float)
+    return covariates, treatment, outcome
+
+
+class TestRegistry:
+    def test_known_backbones(self):
+        assert {"tarnet", "cfr", "dercfr"} <= set(BACKBONE_REGISTRY)
+
+    def test_build_by_name(self, small_config):
+        backbone = build_backbone("cfr", num_features=5, config=small_config)
+        assert isinstance(backbone, CFR)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            build_backbone("resnet", num_features=5)
+
+    def test_invalid_num_features(self, small_config):
+        with pytest.raises(ValueError):
+            TARNet(0, config=small_config)
+
+
+class TestSelectFactualRows:
+    def test_selects_by_treatment(self):
+        treated = as_tensor(np.full((4, 2), 1.0))
+        control = as_tensor(np.full((4, 2), -1.0))
+        treatment = np.array([1, 0, 1, 0])
+        selected = select_factual_rows(treated, control, treatment).numpy()
+        np.testing.assert_allclose(selected[:, 0], [1.0, -1.0, 1.0, -1.0])
+
+
+class TestForwardPass:
+    @pytest.mark.parametrize("name", ["tarnet", "cfr", "dercfr"])
+    def test_output_shapes(self, name, small_config, batch, rng):
+        covariates, treatment, _ = batch
+        backbone = build_backbone(
+            name, num_features=covariates.shape[1], config=small_config, rng=np.random.default_rng(0)
+        )
+        forward = backbone.forward(covariates, treatment)
+        assert forward.mu0.shape == (len(covariates),)
+        assert forward.mu1.shape == (len(covariates),)
+        assert forward.representation.shape[0] == len(covariates)
+        assert forward.last_layer.shape == (len(covariates), small_config.head_units)
+        assert all(layer.shape[0] == len(covariates) for layer in forward.other_layers)
+
+    @pytest.mark.parametrize("name", ["tarnet", "cfr", "dercfr"])
+    def test_binary_outputs_are_probabilities(self, name, small_config, batch):
+        covariates, treatment, _ = batch
+        backbone = build_backbone(
+            name, num_features=covariates.shape[1], config=small_config, binary_outcome=True,
+            rng=np.random.default_rng(0),
+        )
+        forward = backbone.forward(covariates, treatment)
+        for output in (forward.mu0.numpy(), forward.mu1.numpy()):
+            assert np.all(output > 0) and np.all(output < 1)
+
+    def test_continuous_outputs_unbounded(self, small_config, batch):
+        covariates, treatment, _ = batch
+        backbone = TARNet(
+            covariates.shape[1], config=small_config, binary_outcome=False, rng=np.random.default_rng(0)
+        )
+        forward = backbone.forward(covariates, treatment)
+        assert forward.mu0.numpy().dtype == np.float64
+
+    def test_tarnet_other_layers_count(self, small_config, batch):
+        covariates, treatment, _ = batch
+        backbone = TARNet(covariates.shape[1], config=small_config, rng=np.random.default_rng(0))
+        forward = backbone.forward(covariates, treatment)
+        # rep intermediate layers (rep_layers - 1) + head hidden layers except
+        # the last of each head ((head_layers - 1) * 2).
+        expected = (small_config.rep_layers - 1) + 2 * (small_config.head_layers - 1)
+        assert len(forward.other_layers) == expected
+
+    def test_dercfr_extra_outputs(self, small_config, batch):
+        covariates, treatment, _ = batch
+        backbone = DeRCFR(covariates.shape[1], config=small_config, rng=np.random.default_rng(0))
+        forward = backbone.forward(covariates, treatment)
+        assert {"instrument", "adjustment", "propensity"} <= set(forward.extra)
+        propensity = forward.extra["propensity"].numpy()
+        assert np.all(propensity > 0) and np.all(propensity < 1)
+
+
+class TestLosses:
+    def test_network_loss_is_finite_and_differentiable(self, small_config, batch):
+        covariates, treatment, outcome = batch
+        backbone = CFR(
+            covariates.shape[1],
+            config=small_config,
+            regularizers=RegularizerConfig(alpha=0.1),
+            rng=np.random.default_rng(0),
+        )
+        forward = backbone.forward(covariates, treatment)
+        loss = backbone.network_loss(forward, treatment, outcome)
+        assert np.isfinite(loss.item())
+        loss.backward()
+        gradients = [p.grad for p in backbone.parameters()]
+        assert any(g is not None and np.any(g != 0) for g in gradients)
+
+    def test_factual_loss_weighted_vs_unweighted(self, small_config, batch):
+        covariates, treatment, outcome = batch
+        backbone = TARNet(covariates.shape[1], config=small_config, rng=np.random.default_rng(0))
+        forward = backbone.forward(covariates, treatment)
+        unweighted = backbone.factual_loss(forward, treatment, outcome).item()
+        weighted = backbone.factual_loss(
+            forward, treatment, outcome, as_tensor(np.ones(len(outcome)))
+        ).item()
+        np.testing.assert_allclose(unweighted, weighted)
+
+    def test_cfr_alpha_zero_matches_tarnet_regularization(self, small_config, batch):
+        covariates, treatment, _ = batch
+        backbone = CFR(
+            covariates.shape[1],
+            config=small_config,
+            regularizers=RegularizerConfig(alpha=0.0),
+            rng=np.random.default_rng(0),
+        )
+        forward = backbone.forward(covariates, treatment)
+        assert backbone.regularization_loss(forward, treatment).item() == 0.0
+
+    def test_cfr_penalty_positive_with_alpha(self, small_config, batch):
+        covariates, treatment, _ = batch
+        backbone = CFR(
+            covariates.shape[1],
+            config=small_config,
+            regularizers=RegularizerConfig(alpha=1.0),
+            rng=np.random.default_rng(0),
+        )
+        forward = backbone.forward(covariates, treatment)
+        assert backbone.regularization_loss(forward, treatment).item() > 0.0
+
+    def test_cfr_single_arm_batch_gives_zero_penalty(self, small_config, rng):
+        covariates = rng.normal(size=(20, 7))
+        treatment = np.ones(20)
+        backbone = CFR(
+            7, config=small_config, regularizers=RegularizerConfig(alpha=1.0), rng=np.random.default_rng(0)
+        )
+        forward = backbone.forward(covariates, treatment)
+        assert backbone.regularization_loss(forward, treatment).item() == 0.0
+
+    def test_dercfr_regularization_positive(self, small_config, batch):
+        covariates, treatment, _ = batch
+        backbone = DeRCFR(covariates.shape[1], config=small_config, rng=np.random.default_rng(0))
+        forward = backbone.forward(covariates, treatment)
+        assert backbone.regularization_loss(forward, treatment).item() > 0.0
+
+
+class TestPrediction:
+    def test_predict_returns_numpy_dict(self, small_config, batch):
+        covariates, treatment, _ = batch
+        backbone = TARNet(covariates.shape[1], config=small_config, rng=np.random.default_rng(0))
+        predictions = backbone.predict(covariates)
+        assert set(predictions) == {"mu0", "mu1", "ite"}
+        np.testing.assert_allclose(predictions["ite"], predictions["mu1"] - predictions["mu0"])
+
+    def test_representations_shape(self, small_config, batch):
+        covariates, treatment, _ = batch
+        backbone = CFR(covariates.shape[1], config=small_config, rng=np.random.default_rng(0))
+        representation = backbone.representations(covariates)
+        assert representation.shape == (len(covariates), small_config.rep_units)

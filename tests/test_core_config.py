@@ -1,0 +1,87 @@
+"""Unit tests for configuration dataclasses and paper presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    PAPER_GAMMA_GRID,
+    PAPER_PRESETS,
+    BackboneConfig,
+    RegularizerConfig,
+    SBRLConfig,
+    TrainingConfig,
+    paper_preset,
+)
+
+
+class TestBackboneConfig:
+    def test_hidden_sizes_expand(self):
+        config = BackboneConfig(rep_layers=3, rep_units=128, head_layers=2, head_units=64)
+        assert config.rep_hidden_sizes == (128, 128, 128)
+        assert config.head_hidden_sizes == (64, 64)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackboneConfig(rep_layers=0)
+        with pytest.raises(ValueError):
+            BackboneConfig(head_units=-1)
+
+
+class TestRegularizerConfig:
+    def test_defaults_nonnegative(self):
+        config = RegularizerConfig()
+        assert config.alpha >= 0 and config.gamma1 >= 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegularizerConfig(alpha=-1)
+        with pytest.raises(ValueError):
+            RegularizerConfig(num_rff_features=0)
+
+
+class TestTrainingConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(iterations=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(learning_rate=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(weight_update_every=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(weight_clip=(1.0, 0.5))
+
+
+class TestPresets:
+    def test_all_published_datasets_present(self):
+        assert set(PAPER_PRESETS) == {"twins", "ihdp", "syn_8_8_8_2", "syn_16_16_16_2"}
+
+    def test_preset_values_match_table_iv(self):
+        twins = paper_preset("twins")
+        assert twins.training.learning_rate == pytest.approx(1e-5)
+        assert twins.backbone.rep_normalization is True
+        assert twins.regularizers.gamma1 == pytest.approx(1.0)
+        assert twins.regularizers.gamma3 == pytest.approx(0.1)
+        ihdp = paper_preset("ihdp")
+        assert ihdp.backbone.rep_units == 256
+        assert ihdp.regularizers.alpha == pytest.approx(1.0)
+
+    def test_preset_is_a_copy(self):
+        first = paper_preset("ihdp")
+        first.regularizers.alpha = 123.0
+        second = paper_preset("ihdp")
+        assert second.regularizers.alpha != 123.0
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ValueError):
+            paper_preset("unknown")
+
+    def test_gamma_grid_matches_paper(self):
+        assert set(PAPER_GAMMA_GRID) == {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0}
+
+    def test_with_overrides(self):
+        config = SBRLConfig()
+        new_training = TrainingConfig(iterations=5)
+        overridden = config.with_overrides(training=new_training)
+        assert overridden.training.iterations == 5
+        assert config.training.iterations != 5

@@ -1,0 +1,130 @@
+"""Unit tests for the alternating SBRL trainer (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.backbones import CFR, TARNet
+from repro.core.sbrl import FRAMEWORKS, SBRLTrainer
+from repro.core.config import SBRLConfig, TrainingConfig
+
+
+class TestConstruction:
+    def test_invalid_framework(self, fast_config, small_train):
+        backbone = TARNet(small_train.num_features, config=fast_config.backbone)
+        with pytest.raises(ValueError):
+            SBRLTrainer(backbone, framework="bogus", config=fast_config)
+
+    def test_framework_constants(self):
+        assert FRAMEWORKS == ("vanilla", "sbrl", "sbrl-hap")
+
+    def test_vanilla_has_no_weight_objective(self, fast_config, small_train):
+        backbone = TARNet(small_train.num_features, config=fast_config.backbone)
+        trainer = SBRLTrainer(backbone, framework="vanilla", config=fast_config)
+        assert trainer.weight_objective is None
+
+
+class TestTraining:
+    @pytest.mark.parametrize("framework", ["vanilla", "sbrl", "sbrl-hap"])
+    def test_fit_reduces_training_loss(self, framework, fast_config, small_train):
+        backbone = CFR(
+            small_train.num_features,
+            config=fast_config.backbone,
+            regularizers=fast_config.regularizers,
+            rng=np.random.default_rng(0),
+        )
+        trainer = SBRLTrainer(backbone, framework=framework, config=fast_config)
+        history = trainer.fit(small_train)
+        assert history.network_loss[-1] < history.network_loss[0]
+        assert history.elapsed_seconds > 0
+
+    def test_weights_learned_only_for_sbrl_variants(self, fast_config, small_train):
+        backbone = CFR(small_train.num_features, config=fast_config.backbone, rng=np.random.default_rng(0))
+        vanilla = SBRLTrainer(backbone, framework="vanilla", config=fast_config)
+        vanilla.fit(small_train)
+        assert vanilla.sample_weights is None
+
+        backbone2 = CFR(small_train.num_features, config=fast_config.backbone, rng=np.random.default_rng(0))
+        sbrl = SBRLTrainer(backbone2, framework="sbrl", config=fast_config)
+        sbrl.fit(small_train)
+        assert sbrl.sample_weights is not None
+        assert len(sbrl.sample_weights.numpy()) == len(small_train)
+
+    def test_weights_move_away_from_one(self, fast_config, small_train):
+        backbone = CFR(
+            small_train.num_features,
+            config=fast_config.backbone,
+            regularizers=fast_config.regularizers,
+            rng=np.random.default_rng(0),
+        )
+        trainer = SBRLTrainer(backbone, framework="sbrl-hap", config=fast_config)
+        trainer.fit(small_train)
+        weights = trainer.sample_weights.numpy()
+        assert np.any(np.abs(weights - 1.0) > 1e-4)
+        assert np.all(weights >= fast_config.training.weight_clip[0])
+        assert np.all(weights <= fast_config.training.weight_clip[1])
+
+    def test_validation_early_stopping_restores_best_state(self, fast_config, small_train, small_ood):
+        config = fast_config
+        config.training.early_stopping_patience = 10
+        backbone = TARNet(small_train.num_features, config=config.backbone, rng=np.random.default_rng(0))
+        trainer = SBRLTrainer(backbone, framework="vanilla", config=config)
+        history = trainer.fit(small_train, validation=small_ood)
+        assert history.best_iteration <= history.iterations[-1]
+
+    def test_history_as_dict(self, fast_config, small_train):
+        backbone = TARNet(small_train.num_features, config=fast_config.backbone, rng=np.random.default_rng(0))
+        trainer = SBRLTrainer(backbone, framework="vanilla", config=fast_config)
+        trainer.fit(small_train)
+        record = trainer.history.as_dict()
+        assert set(record) == {"iterations", "network_loss", "weight_loss", "validation_loss"}
+        assert len(record["iterations"]) == len(record["network_loss"])
+
+
+class TestInference:
+    def test_predict_before_fit_raises(self, fast_config, small_train):
+        backbone = TARNet(small_train.num_features, config=fast_config.backbone)
+        trainer = SBRLTrainer(backbone, framework="vanilla", config=fast_config)
+        with pytest.raises(RuntimeError):
+            trainer.predict(small_train.covariates)
+
+    def test_predict_and_evaluate(self, fast_config, small_train, small_ood):
+        backbone = CFR(small_train.num_features, config=fast_config.backbone, rng=np.random.default_rng(0))
+        trainer = SBRLTrainer(backbone, framework="sbrl", config=fast_config)
+        trainer.fit(small_train)
+        predictions = trainer.predict(small_ood.covariates)
+        assert predictions["mu0"].shape == (len(small_ood),)
+        metrics = trainer.evaluate(small_ood)
+        assert {"pehe", "ate_error", "f1_factual"} <= set(metrics)
+        assert np.isfinite(metrics["pehe"])
+
+    def test_representations_shape(self, fast_config, small_train):
+        backbone = CFR(small_train.num_features, config=fast_config.backbone, rng=np.random.default_rng(0))
+        trainer = SBRLTrainer(backbone, framework="vanilla", config=fast_config)
+        trainer.fit(small_train)
+        representation = trainer.representations(small_train.covariates)
+        assert representation.shape == (len(small_train), fast_config.backbone.rep_units)
+
+    def test_continuous_outcome_training(self, fast_config, tiny_continuous_dataset):
+        backbone = TARNet(
+            tiny_continuous_dataset.num_features,
+            config=fast_config.backbone,
+            binary_outcome=False,
+            rng=np.random.default_rng(0),
+        )
+        config = SBRLConfig(
+            backbone=fast_config.backbone,
+            regularizers=fast_config.regularizers,
+            training=TrainingConfig(
+                iterations=150, learning_rate=5e-3, evaluation_interval=25,
+                early_stopping_patience=None, weight_update_every=10,
+            ),
+        )
+        trainer = SBRLTrainer(backbone, framework="vanilla", config=config)
+        trainer.fit(tiny_continuous_dataset)
+        metrics = trainer.evaluate(tiny_continuous_dataset)
+        # The true effect is a constant 2.0; after training the ATE bias
+        # should be well below the effect magnitude.
+        assert metrics["ate_error"] < 1.5
+        assert "f1_factual" not in metrics

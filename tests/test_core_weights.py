@@ -1,0 +1,65 @@
+"""Unit tests for the learnable sample weights."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.weights import SampleWeights
+
+
+class TestSampleWeights:
+    def test_initialised_to_one(self):
+        weights = SampleWeights(10)
+        np.testing.assert_allclose(weights.numpy(), np.ones(10))
+
+    def test_anchor_penalty_zero_at_one(self):
+        weights = SampleWeights(10)
+        assert weights.anchor_penalty().item() == pytest.approx(0.0)
+
+    def test_anchor_penalty_grows_with_deviation(self):
+        weights = SampleWeights(4)
+        weights.values.data = np.array([2.0, 2.0, 0.0, 0.0])
+        assert weights.anchor_penalty().item() == pytest.approx(1.0)
+
+    def test_step_clips_into_range(self):
+        weights = SampleWeights(3, learning_rate=1.0, clip=(0.1, 2.0))
+        weights.values.grad = np.array([100.0, -100.0, 0.0])
+        weights.step()
+        values = weights.numpy()
+        assert values.min() >= 0.1 and values.max() <= 2.0
+
+    def test_gradient_descent_on_anchor_returns_to_one(self):
+        weights = SampleWeights(5, learning_rate=0.2)
+        weights.values.data = np.full(5, 3.0)
+        for _ in range(200):
+            loss = weights.anchor_penalty()
+            weights.zero_grad()
+            loss.backward()
+            weights.step()
+        np.testing.assert_allclose(weights.numpy(), np.ones(5), atol=0.05)
+
+    def test_reset(self):
+        weights = SampleWeights(5)
+        weights.values.data = np.full(5, 2.0)
+        weights.reset()
+        np.testing.assert_allclose(weights.numpy(), np.ones(5))
+
+    def test_effective_sample_size(self):
+        weights = SampleWeights(4)
+        assert weights.effective_sample_size() == pytest.approx(4.0)
+        weights.values.data = np.array([1.0, 0.0, 0.0, 0.0])
+        assert weights.effective_sample_size() == pytest.approx(1.0)
+
+    def test_normalized_mean_one(self):
+        weights = SampleWeights(4)
+        weights.values.data = np.array([2.0, 2.0, 4.0, 0.0])
+        assert weights.normalized().mean() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SampleWeights(0)
+        with pytest.raises(ValueError):
+            SampleWeights(5, clip=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            SampleWeights(5, anchor_strength=-1.0)

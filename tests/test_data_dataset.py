@@ -1,0 +1,131 @@
+"""Unit tests for the CausalDataset container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import CausalDataset
+
+
+@pytest.fixture()
+def dataset(rng):
+    n = 100
+    covariates = rng.normal(size=(n, 6))
+    treatment = (rng.uniform(size=n) < 0.4).astype(float)
+    mu0 = covariates[:, 0]
+    mu1 = mu0 + 1.0
+    outcome = np.where(treatment == 1, mu1, mu0)
+    return CausalDataset(
+        covariates=covariates,
+        treatment=treatment,
+        outcome=outcome,
+        mu0=mu0,
+        mu1=mu1,
+        environment="unit-test",
+        feature_roles={"confounder": np.arange(3), "unstable": np.arange(3, 6)},
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self, dataset):
+        assert len(dataset) == 100
+        assert dataset.num_features == 6
+        assert dataset.num_treated + dataset.num_control == 100
+        assert dataset.environment == "unit-test"
+
+    def test_true_effect(self, dataset):
+        np.testing.assert_allclose(dataset.true_ite, np.ones(100))
+        assert dataset.true_ate == pytest.approx(1.0)
+
+    def test_masks_partition(self, dataset):
+        assert np.all(dataset.treated_mask ^ dataset.control_mask)
+
+    def test_rejects_non_binary_treatment(self, rng):
+        with pytest.raises(ValueError):
+            CausalDataset(
+                covariates=rng.normal(size=(5, 2)),
+                treatment=np.array([0, 1, 2, 0, 1]),
+                outcome=np.zeros(5),
+                mu0=np.zeros(5),
+                mu1=np.zeros(5),
+            )
+
+    def test_rejects_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            CausalDataset(
+                covariates=rng.normal(size=(5, 2)),
+                treatment=np.zeros(4),
+                outcome=np.zeros(5),
+                mu0=np.zeros(5),
+                mu1=np.zeros(5),
+            )
+
+    def test_rejects_1d_covariates(self):
+        with pytest.raises(ValueError):
+            CausalDataset(
+                covariates=np.zeros(5),
+                treatment=np.zeros(5),
+                outcome=np.zeros(5),
+                mu0=np.zeros(5),
+                mu1=np.zeros(5),
+            )
+
+    def test_summary_keys(self, dataset):
+        summary = dataset.summary()
+        assert {"n", "num_features", "treated_fraction", "true_ate", "outcome_mean"} <= set(summary)
+
+
+class TestManipulation:
+    def test_subset_preserves_alignment(self, dataset):
+        indices = np.array([5, 10, 20])
+        subset = dataset.subset(indices, environment="sub")
+        assert len(subset) == 3
+        assert subset.environment == "sub"
+        np.testing.assert_allclose(subset.covariates, dataset.covariates[indices])
+        np.testing.assert_allclose(subset.mu1, dataset.mu1[indices])
+
+    def test_shuffled_is_permutation(self, dataset, rng):
+        shuffled = dataset.shuffled(np.random.default_rng(0))
+        assert len(shuffled) == len(dataset)
+        np.testing.assert_allclose(
+            np.sort(shuffled.outcome), np.sort(dataset.outcome)
+        )
+
+    def test_split_fractions(self, dataset):
+        split = dataset.split((0.6, 0.2, 0.2), np.random.default_rng(0))
+        sizes = split.sizes()
+        assert sum(sizes) == len(dataset)
+        assert sizes[0] == 60
+        train, validation, test = tuple(split)
+        assert len(train) == 60
+
+    def test_split_rejects_bad_fractions(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.split((0.5, 0.2, 0.1), np.random.default_rng(0))
+
+    def test_train_validation_split(self, dataset):
+        train, validation = dataset.train_validation_split(0.7, np.random.default_rng(0))
+        assert len(train) == 70 and len(validation) == 30
+        with pytest.raises(ValueError):
+            dataset.train_validation_split(1.5, np.random.default_rng(0))
+
+    def test_standardize_and_reuse_statistics(self, dataset):
+        standardized, mean, std = dataset.standardize()
+        np.testing.assert_allclose(standardized.covariates.mean(axis=0), np.zeros(6), atol=1e-10)
+        np.testing.assert_allclose(standardized.covariates.std(axis=0), np.ones(6), atol=1e-10)
+        # Applying the same statistics to another dataset keeps them aligned.
+        other, _, _ = dataset.standardize(mean, std)
+        np.testing.assert_allclose(other.covariates, standardized.covariates)
+
+    def test_standardize_handles_constant_columns(self, rng):
+        covariates = np.column_stack([np.ones(50), rng.normal(size=50)])
+        dataset = CausalDataset(
+            covariates=covariates,
+            treatment=np.zeros(50),
+            outcome=np.zeros(50),
+            mu0=np.zeros(50),
+            mu1=np.zeros(50),
+        )
+        standardized, _, _ = dataset.standardize()
+        assert np.isfinite(standardized.covariates).all()

@@ -1,0 +1,119 @@
+"""Unit tests for biased sampling and shift diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import CausalDataset
+from repro.data.environments import (
+    biased_sampling_probabilities,
+    biased_split,
+    biased_subsample,
+    covariate_shift_distance,
+    environment_shift_report,
+)
+
+
+@pytest.fixture()
+def dataset(rng):
+    n = 500
+    covariates = rng.normal(size=(n, 4))
+    treatment = (rng.uniform(size=n) < 0.5).astype(float)
+    mu0 = np.zeros(n)
+    mu1 = (covariates[:, 0] > 0).astype(float)
+    outcome = np.where(treatment == 1, mu1, mu0)
+    return CausalDataset(
+        covariates=covariates,
+        treatment=treatment,
+        outcome=outcome,
+        mu0=mu0,
+        mu1=mu1,
+        environment="base",
+    )
+
+
+class TestProbabilities:
+    def test_normalised(self, dataset):
+        probabilities = biased_sampling_probabilities(dataset, rho=2.5, columns=[3])
+        assert probabilities.shape == (len(dataset),)
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert np.all(probabilities >= 0)
+
+    def test_prefers_units_matching_effect(self, dataset):
+        # With rho > 0, units whose selected covariate is close to the effect
+        # get higher probability.
+        probabilities = biased_sampling_probabilities(dataset, rho=2.5, columns=[3])
+        distance = np.abs(dataset.mu1 - dataset.mu0 - dataset.covariates[:, 3])
+        close = probabilities[distance < 0.2].mean()
+        far = probabilities[distance > 1.5].mean()
+        assert close > far
+
+    def test_invalid_rho(self, dataset):
+        with pytest.raises(ValueError):
+            biased_sampling_probabilities(dataset, rho=1.0, columns=[3])
+
+    def test_requires_columns(self, dataset):
+        with pytest.raises(ValueError):
+            biased_sampling_probabilities(dataset, rho=2.5, columns=[])
+
+
+class TestSubsampleAndSplit:
+    def test_subsample_size_and_environment_label(self, dataset):
+        sub = biased_subsample(dataset, rho=-2.5, columns=[3], num_samples=100, rng=np.random.default_rng(0))
+        assert len(sub) == 100
+        assert "rho=-2.5" in sub.environment
+
+    def test_subsample_shifts_covariates(self, dataset):
+        sub = biased_subsample(dataset, rho=2.5, columns=[3], num_samples=150, rng=np.random.default_rng(0))
+        assert covariate_shift_distance(dataset, sub) > 0.0
+
+    def test_subsample_validates_size(self, dataset):
+        with pytest.raises(ValueError):
+            biased_subsample(dataset, rho=2.5, columns=[3], num_samples=0, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            biased_subsample(
+                dataset, rho=2.5, columns=[3], num_samples=len(dataset) + 1, rng=np.random.default_rng(0)
+            )
+
+    def test_split_partition(self, dataset):
+        rest, test = biased_split(dataset, rho=-2.5, columns=[3], test_fraction=0.2, rng=np.random.default_rng(0))
+        assert len(rest) + len(test) == len(dataset)
+        assert len(test) == round(0.2 * len(dataset))
+        # No unit appears in both halves (check via covariate row identity).
+        rest_keys = {row.tobytes() for row in rest.covariates}
+        test_keys = {row.tobytes() for row in test.covariates}
+        assert not rest_keys & test_keys
+
+    def test_split_creates_shifted_test_set(self, dataset):
+        rest, test = biased_split(dataset, rho=-2.5, columns=[3], test_fraction=0.2, rng=np.random.default_rng(0))
+        assert covariate_shift_distance(rest, test) > 0.0
+
+    def test_split_rejects_bad_fraction(self, dataset):
+        with pytest.raises(ValueError):
+            biased_split(dataset, rho=-2.5, columns=[3], test_fraction=1.2, rng=np.random.default_rng(0))
+
+
+class TestShiftDiagnostics:
+    def test_distance_zero_for_same_dataset(self, dataset):
+        assert covariate_shift_distance(dataset, dataset) == pytest.approx(0.0)
+
+    def test_distance_requires_matching_features(self, dataset, rng):
+        other = CausalDataset(
+            covariates=rng.normal(size=(10, 3)),
+            treatment=np.zeros(10),
+            outcome=np.zeros(10),
+            mu0=np.zeros(10),
+            mu1=np.zeros(10),
+        )
+        with pytest.raises(ValueError):
+            covariate_shift_distance(dataset, other)
+
+    def test_environment_shift_report(self, dataset):
+        environments = {
+            2.5: biased_subsample(dataset, 2.5, [3], 200, np.random.default_rng(1)),
+            -3.0: biased_subsample(dataset, -3.0, [3], 200, np.random.default_rng(1)),
+        }
+        report = environment_shift_report(dataset, environments)
+        assert set(report) == {2.5, -3.0}
+        assert all(value >= 0 for value in report.values())

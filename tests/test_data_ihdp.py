@@ -1,0 +1,99 @@
+"""Unit tests for the IHDP benchmark builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.environments import covariate_shift_distance
+from repro.data.ihdp import NUM_BINARY, NUM_CONTINUOUS, NUM_COVARIATES, IHDPConfig, IHDPSimulator
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return IHDPSimulator(IHDPConfig(seed=3))
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = IHDPConfig()
+        assert config.num_units == 747
+        assert config.target_num_treated == 139
+        assert config.test_fraction == 0.1
+        assert config.response_surface == "A"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IHDPConfig(num_units=10)
+        with pytest.raises(ValueError):
+            IHDPConfig(target_num_treated=0)
+        with pytest.raises(ValueError):
+            IHDPConfig(response_surface="C")
+        with pytest.raises(ValueError):
+            IHDPConfig(bias_rate=0.3)
+
+
+class TestPopulation:
+    def test_size_and_treated_count(self, simulator):
+        population = simulator.build_population()
+        assert len(population) == 747
+        assert population.num_treated == 139
+        assert population.num_features == NUM_COVARIATES == 25
+
+    def test_covariate_types(self, simulator):
+        population = simulator.build_population()
+        binary_block = population.covariates[:, NUM_CONTINUOUS:]
+        assert binary_block.shape[1] == NUM_BINARY
+        assert set(np.unique(binary_block)) <= {0.0, 1.0}
+
+    def test_continuous_outcome(self, simulator):
+        population = simulator.build_population()
+        assert not population.binary_outcome
+        assert len(np.unique(population.outcome)) > 50
+
+    def test_surface_a_constant_effect_of_four(self, simulator):
+        population = simulator.build_population()
+        np.testing.assert_allclose(population.true_ite, np.full(len(population), 4.0))
+
+    def test_surface_b_heterogeneous_effect_near_four(self):
+        simulator = IHDPSimulator(IHDPConfig(response_surface="B", seed=4))
+        population = simulator.build_population()
+        assert np.std(population.true_ite) > 0.0
+        assert population.true_ate == pytest.approx(4.0, abs=0.5)
+
+    def test_selection_bias_from_unmarried_removal(self, simulator):
+        population = simulator.build_population()
+        married_column = NUM_CONTINUOUS + 2  # see covariate ordering in the builder
+        married = population.covariates[:, married_column]
+        treated_married_rate = married[population.treated_mask].mean()
+        control_married_rate = married[population.control_mask].mean()
+        assert treated_married_rate > control_married_rate
+
+    def test_deterministic_given_seed(self, simulator):
+        a = simulator.build_population(seed=21)
+        b = simulator.build_population(seed=21)
+        np.testing.assert_allclose(a.outcome, b.outcome)
+
+
+class TestReplications:
+    def test_split_sizes(self, simulator):
+        rep = simulator.replication(0)
+        assert len(rep.test) == round(0.1 * 747)
+        assert len(rep.train) + len(rep.validation) + len(rep.test) == 747
+
+    def test_test_set_is_shifted_on_continuous_covariates(self, simulator):
+        rep = simulator.replication(0)
+        assert covariate_shift_distance(rep.train, rep.test) > covariate_shift_distance(
+            rep.train, rep.validation
+        )
+
+    def test_replications_differ(self, simulator):
+        first = simulator.replication(0)
+        second = simulator.replication(1)
+        assert not np.allclose(first.train.outcome[:10], second.train.outcome[:10])
+
+    def test_replications_iterator(self, simulator):
+        reps = list(simulator.replications(2))
+        assert [rep.replication for rep in reps] == [0, 1]
+        with pytest.raises(ValueError):
+            list(simulator.replications(0))

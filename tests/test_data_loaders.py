@@ -1,0 +1,38 @@
+"""Unit tests for the benchmark registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.loaders import available_benchmarks, load_benchmark
+
+
+class TestRegistry:
+    def test_available_benchmarks(self):
+        names = available_benchmarks()
+        assert {"syn_8_8_8_2", "syn_16_16_16_2", "twins", "ihdp"} <= set(names)
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(ValueError):
+            load_benchmark("nonexistent")
+
+    def test_load_synthetic(self):
+        protocol = load_benchmark("syn_8_8_8_2", num_samples=200, seed=1)
+        assert protocol["train"].num_features == 26
+        assert len(protocol["train"]) == 200
+        assert len(protocol["test_environments"]) == 8
+
+    def test_load_twins(self):
+        protocol = load_benchmark("twins", num_samples=600, seed=1)
+        assert protocol["train"].num_features == 43
+        assert "ood" in protocol["test_environments"]
+        assert "validation" in protocol
+
+    def test_load_ihdp(self):
+        protocol = load_benchmark("ihdp", seed=1)
+        assert protocol["train"].num_features == 25
+        assert not protocol["train"].binary_outcome
+
+    def test_case_insensitive(self):
+        protocol = load_benchmark("IHDP", seed=1)
+        assert protocol["train"].num_features == 25

@@ -1,0 +1,100 @@
+"""Unit tests for the Twins benchmark builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.environments import covariate_shift_distance
+from repro.data.twins import NUM_BASE_COVARIATES, NUM_INSTRUMENTS, NUM_UNSTABLE, TwinsConfig, TwinsSimulator
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return TwinsSimulator(TwinsConfig(num_records=800, seed=5))
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = TwinsConfig()
+        assert config.num_records == 5271
+        assert config.bias_rate == -2.5
+        assert config.test_fraction == 0.2
+        assert config.train_fraction == 0.7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TwinsConfig(num_records=5)
+        with pytest.raises(ValueError):
+            TwinsConfig(test_fraction=1.5)
+        with pytest.raises(ValueError):
+            TwinsConfig(bias_rate=0.5)
+
+
+class TestPopulation:
+    def test_shape_and_roles(self, simulator):
+        population = simulator.build_population()
+        assert len(population) == 800
+        assert population.num_features == NUM_BASE_COVARIATES + NUM_INSTRUMENTS + NUM_UNSTABLE == 43
+        roles = population.feature_roles
+        assert len(roles["confounder"]) == 28
+        assert len(roles["instrument"]) == 10
+        assert len(roles["unstable"]) == 5
+
+    def test_binary_mortality_outcomes(self, simulator):
+        population = simulator.build_population()
+        assert population.binary_outcome
+        assert set(np.unique(population.mu0)) <= {0.0, 1.0}
+        assert set(np.unique(population.mu1)) <= {0.0, 1.0}
+
+    def test_mortality_rates_realistic(self):
+        population = TwinsSimulator(TwinsConfig(num_records=5271, seed=1)).build_population()
+        # One-year mortality among <2000g twins is on the order of 10-25 %.
+        assert 0.05 < population.mu0.mean() < 0.35
+        assert 0.05 < population.mu1.mean() < 0.35
+
+    def test_heavier_twin_has_lower_mortality(self):
+        population = TwinsSimulator(TwinsConfig(num_records=5271, seed=2)).build_population()
+        assert population.true_ate < 0.0
+
+    def test_both_arms_present(self, simulator):
+        population = simulator.build_population()
+        assert 0.3 < population.treatment.mean() < 0.7
+
+    def test_outcome_consistency(self, simulator):
+        population = simulator.build_population()
+        expected = np.where(population.treatment == 1, population.mu1, population.mu0)
+        np.testing.assert_allclose(population.outcome, expected)
+
+    def test_deterministic_given_seed(self, simulator):
+        a = simulator.build_population(seed=77)
+        b = simulator.build_population(seed=77)
+        np.testing.assert_allclose(a.covariates, b.covariates)
+
+
+class TestReplications:
+    def test_split_sizes(self, simulator):
+        rep = simulator.replication(0)
+        total = len(rep.train) + len(rep.validation) + len(rep.test)
+        assert total == 800
+        assert len(rep.test) == round(0.2 * 800)
+
+    def test_test_set_is_shifted(self, simulator):
+        rep = simulator.replication(0)
+        shift_to_test = covariate_shift_distance(rep.train, rep.test)
+        shift_to_validation = covariate_shift_distance(rep.train, rep.validation)
+        assert shift_to_test > shift_to_validation
+
+    def test_replications_are_independent(self, simulator):
+        reps = list(simulator.replications(2))
+        assert len(reps) == 2
+        assert not np.allclose(reps[0].train.covariates[:5], reps[1].train.covariates[:5])
+
+    def test_as_split(self, simulator):
+        rep = simulator.replication(1)
+        split = rep.as_split()
+        assert len(split.train) == len(rep.train)
+
+    def test_replications_count_validation(self, simulator):
+        with pytest.raises(ValueError):
+            list(simulator.replications(0))

@@ -1,0 +1,158 @@
+"""Unit tests for the OOD-level and weight diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.diagnostics import (
+    assess_ood_level,
+    balance_improvement,
+    domain_classifier_auc,
+    moment_shift_score,
+    representation_shift,
+    weight_summary,
+    weighted_correlation_report,
+)
+from repro.core.estimator import HTEEstimator
+
+
+class TestDomainClassifierAUC:
+    def test_identical_distributions_near_chance(self, rng):
+        source = rng.normal(size=(400, 5))
+        target = rng.normal(size=(400, 5))
+        auc = domain_classifier_auc(source, target, seed=0)
+        assert 0.5 <= auc < 0.62
+
+    def test_shifted_distributions_high_auc(self, rng):
+        source = rng.normal(size=(400, 5))
+        target = rng.normal(loc=2.0, size=(400, 5))
+        assert domain_classifier_auc(source, target, seed=0) > 0.9
+
+    def test_subsampling_large_inputs(self, rng):
+        source = rng.normal(size=(3000, 3))
+        target = rng.normal(loc=1.0, size=(3000, 3))
+        auc = domain_classifier_auc(source, target, max_samples=500, seed=0)
+        assert auc > 0.7
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            domain_classifier_auc(rng.normal(size=(10, 3)), rng.normal(size=(10, 4)))
+
+
+class TestMomentShift:
+    def test_zero_for_identical(self, rng):
+        data = rng.normal(size=(200, 4))
+        report = moment_shift_score(data, data)
+        assert report["aggregate"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_identifies_most_shifted_feature(self, rng):
+        source = rng.normal(size=(500, 4))
+        target = source.copy()
+        target[:, 2] += 3.0
+        report = moment_shift_score(source, target)
+        assert report["most_shifted_features"][0] == 2
+        assert report["aggregate"] > 0.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            moment_shift_score(rng.normal(size=200), rng.normal(size=200))
+
+
+class TestAssessOODLevel:
+    def test_in_distribution_grade(self, small_protocol):
+        train = small_protocol["train"]
+        report = assess_ood_level(train, small_protocol["test_environments"][2.5])
+        assert report.severity in ("in-distribution", "mild")
+        assert 0.5 <= report.domain_auc <= 1.0
+
+    def test_far_environment_grades_worse_or_equal(self, small_protocol):
+        train = small_protocol["train"]
+        order = ["in-distribution", "mild", "moderate", "severe"]
+        near = assess_ood_level(train, small_protocol["test_environments"][2.5])
+        far = assess_ood_level(train, small_protocol["test_environments"][-2.5])
+        assert order.index(far.severity) >= order.index(near.severity)
+        assert far.moment_score >= near.moment_score * 0.5
+
+    def test_as_dict(self, small_protocol):
+        report = assess_ood_level(small_protocol["train"], small_protocol["test_environments"][-2.5])
+        payload = report.as_dict()
+        assert {"domain_auc", "moment_score", "severity", "most_shifted_features"} <= set(payload)
+
+    def test_threshold_validation(self, small_protocol):
+        with pytest.raises(ValueError):
+            assess_ood_level(
+                small_protocol["train"],
+                small_protocol["test_environments"][2.5],
+                auc_thresholds=(0.9, 0.8, 0.7),
+            )
+
+
+class TestRepresentationShift:
+    def test_reports_amplification(self, fast_config, small_protocol):
+        estimator = HTEEstimator(backbone="cfr", framework="vanilla", config=fast_config, seed=0)
+        estimator.fit(small_protocol["train"])
+        report = representation_shift(
+            estimator, small_protocol["train"], small_protocol["test_environments"][-2.5]
+        )
+        assert {"covariate_auc", "representation_auc", "amplification"} == set(report)
+        assert 0.5 <= report["representation_auc"] <= 1.0
+
+
+class TestWeightDiagnostics:
+    def test_weight_summary_uniform(self):
+        summary = weight_summary(np.ones(50))
+        assert summary["effective_sample_size"] == pytest.approx(50.0)
+        assert summary["std"] == pytest.approx(0.0)
+
+    def test_weight_summary_validation(self):
+        with pytest.raises(ValueError):
+            weight_summary(np.array([]))
+        with pytest.raises(ValueError):
+            weight_summary(np.array([-1.0, 1.0]))
+
+    def test_weighted_correlation_report_keys(self, small_train):
+        weights = np.ones(len(small_train))
+        report = weighted_correlation_report(small_train, weights)
+        unstable = small_train.feature_roles["unstable"]
+        assert set(report) == {f"x{c}" for c in unstable}
+        for entry in report.values():
+            assert entry["unweighted_abs_corr"] == pytest.approx(entry["weighted_abs_corr"])
+
+    def test_downweighting_reduces_induced_correlation(self, rng):
+        # Build a dataset where half the rows induce a spurious correlation
+        # between an "unstable" covariate and the outcome; down-weighting that
+        # half must reduce the weighted correlation.
+        from repro.data.dataset import CausalDataset
+
+        n = 400
+        covariates = rng.normal(size=(n, 3))
+        outcome = (rng.uniform(size=n) < 0.5).astype(float)
+        covariates[: n // 2, 2] = outcome[: n // 2] + 0.1 * rng.normal(size=n // 2)
+        dataset = CausalDataset(
+            covariates=covariates,
+            treatment=(rng.uniform(size=n) < 0.5).astype(float),
+            outcome=outcome,
+            mu0=np.zeros(n),
+            mu1=np.ones(n),
+            feature_roles={"unstable": np.array([2])},
+        )
+        weights = np.concatenate([np.full(n // 2, 0.05), np.ones(n // 2)])
+        report = weighted_correlation_report(dataset, weights)
+        assert report["x2"]["weighted_abs_corr"] < report["x2"]["unweighted_abs_corr"]
+
+    def test_balance_improvement_with_ipw_style_weights(self, small_train):
+        # Inverse-propensity-style weights computed from the true assignment
+        # mechanism should improve covariate balance relative to uniform.
+        from repro.baselines.ridge import LogisticRegression
+
+        model = LogisticRegression().fit(small_train.covariates, small_train.treatment)
+        propensity = np.clip(model.predict_proba(small_train.covariates), 0.05, 0.95)
+        weights = np.where(small_train.treatment == 1, 1.0 / propensity, 1.0 / (1.0 - propensity))
+        report = balance_improvement(small_train, weights)
+        assert report["weighted_smd"] <= report["unweighted_smd"] + 1e-9
+        assert "relative_improvement" in report
+
+    def test_balance_improvement_validation(self, small_train):
+        with pytest.raises(ValueError):
+            balance_improvement(small_train, np.ones(3))

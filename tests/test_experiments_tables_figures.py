@@ -1,0 +1,119 @@
+"""Smoke-scale tests for the table and figure reproduction functions.
+
+These run the real experiment code paths end-to-end at the tiny "smoke"
+scale; they assert structure and basic sanity, not numeric quality (that is
+the benchmarks' job).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    figure3_pehe_curves,
+    figure4_f1_stability,
+    figure5_decorrelation,
+    figure6_hyperparameter_sensitivity,
+)
+from repro.experiments.search import SearchSpace, random_search
+from repro.experiments.tables import (
+    table1_synthetic,
+    table2_ablation,
+    table3_realworld,
+    table6_training_cost,
+)
+from repro.experiments.protocols import experiment_config, get_scale, synthetic_protocol
+
+pytestmark = pytest.mark.slow
+
+
+class TestTables:
+    def test_table1_structure(self):
+        table = table1_synthetic(scale="smoke", dims=(4, 4, 4, 2), bias_rates=(2.5, -2.5))
+        assert "Table I" in table.name
+        methods = {row["method"] for row in table.rows}
+        assert {"TARNet", "CFR+SBRL", "DeR-CFR+SBRL-HAP"} <= methods
+        metrics = {row["metric"] for row in table.rows}
+        assert metrics == {"pehe", "ate_error"}
+        assert all(np.isfinite(row["rho=2.5"]) for row in table.rows)
+        assert "rho=-2.5" in table.text
+
+    def test_table2_structure(self):
+        table = table2_ablation(scale="smoke", dims=(4, 4, 4, 2))
+        assert len(table.rows) == 4
+        labels = {row["variant"] for row in table.rows}
+        assert "BR+IR+HAP (full)" in labels
+        assert all(value >= 0 for row in table.rows for key, value in row.items() if key != "variant")
+
+    def test_table3_structure(self):
+        table = table3_realworld(scale="smoke", datasets=("ihdp",), replications=1)
+        assert len(table.rows) == 9
+        for row in table.rows:
+            assert row["dataset"] == "ihdp"
+            assert np.isfinite(row["pehe_test"])
+            assert row["pehe_test"] >= 0
+
+    def test_table6_structure(self):
+        table = table6_training_cost(scale="smoke")
+        assert len(table.rows) == 9
+        assert all(row["seconds"] > 0 for row in table.rows)
+
+
+class TestFigures:
+    def test_figure3_series(self):
+        figure = figure3_pehe_curves(scale="smoke", dims=(4, 4, 4, 2), bias_rates=(2.5, -2.5))
+        assert set(figure.series) == {
+            "TARNet", "TARNet+SBRL", "TARNet+SBRL-HAP",
+            "CFR", "CFR+SBRL", "CFR+SBRL-HAP",
+            "DeR-CFR", "DeR-CFR+SBRL", "DeR-CFR+SBRL-HAP",
+        }
+        for series in figure.series.values():
+            assert set(series) == {"rho=2.5", "rho=-2.5"}
+
+    def test_figure4_series(self):
+        figure = figure4_f1_stability(scale="smoke", dims=(4, 4, 4, 2), bias_rates=(2.5, -2.5))
+        for series in figure.series.values():
+            assert {"f1_factual_mean", "f1_counterfactual_std"} <= set(series)
+
+    def test_figure5_ordering_keys(self):
+        figure = figure5_decorrelation(scale="smoke", dims=(4, 4, 4, 2), max_dims=6)
+        assert set(figure.series) == {"CFR", "CFR+SBRL", "CFR+SBRL-HAP"}
+        assert all(v["mean_pairwise_hsic_rff"] >= 0 for v in figure.series.values())
+
+    def test_figure6_grid(self):
+        figure = figure6_hyperparameter_sensitivity(
+            scale="smoke", dims=(4, 4, 4, 2), gamma_grid=(0.0, 1.0)
+        )
+        assert len(figure.series) == 6  # 3 gammas x 2 grid values
+        assert "gamma1=0" in figure.series
+
+
+class TestSearch:
+    def test_random_search_sorted_by_score(self):
+        scale = get_scale("smoke")
+        protocol = synthetic_protocol(dims=(4, 4, 4, 2), scale=scale, bias_rates=(2.5,))
+        config = experiment_config(scale)
+        trials = random_search(
+            config,
+            protocol["train"],
+            protocol["test_environments"][2.5],
+            num_trials=2,
+            seed=0,
+        )
+        assert len(trials) == 2
+        assert trials[0].score <= trials[1].score
+        assert {"gamma1", "alpha", "learning_rate"} <= set(trials[0].parameters)
+
+    def test_random_search_validation(self):
+        scale = get_scale("smoke")
+        protocol = synthetic_protocol(dims=(4, 4, 4, 2), scale=scale, bias_rates=(2.5,))
+        config = experiment_config(scale)
+        with pytest.raises(ValueError):
+            random_search(config, protocol["train"], protocol["test_environments"][2.5], num_trials=0)
+
+    def test_search_space_sampling(self):
+        space = SearchSpace()
+        sample = space.sample(np.random.default_rng(0))
+        assert sample["gamma1"] in space.gamma1
+        assert sample["alpha"] in space.alpha

@@ -1,0 +1,150 @@
+"""Unit tests for the treatment-effect evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.evaluation import (
+    EffectEstimates,
+    EnvironmentReport,
+    accuracy,
+    aggregate_across_environments,
+    ate,
+    ate_error,
+    evaluate_effect_predictions,
+    f1_score,
+    pehe,
+)
+
+
+class TestPEHE:
+    def test_perfect_prediction_is_zero(self):
+        ite = np.array([1.0, -0.5, 2.0])
+        assert pehe(ite, ite) == 0.0
+
+    def test_constant_offset(self):
+        true = np.zeros(10)
+        predicted = np.full(10, 0.5)
+        assert pehe(true, predicted) == pytest.approx(0.5)
+
+    def test_matches_manual_formula(self):
+        rng = np.random.default_rng(0)
+        true = rng.normal(size=50)
+        predicted = rng.normal(size=50)
+        manual = np.sqrt(np.mean((predicted - true) ** 2))
+        assert pehe(true, predicted) == pytest.approx(manual)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pehe(np.zeros(3), np.zeros(4))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            pehe([], [])
+
+
+class TestATE:
+    def test_ate_value(self):
+        assert ate([2.0, 4.0], [1.0, 1.0]) == pytest.approx(2.0)
+
+    def test_ate_error_absolute(self):
+        true = np.array([1.0, 1.0, 1.0])
+        predicted = np.array([0.0, 0.0, 0.0])
+        assert ate_error(true, predicted) == pytest.approx(1.0)
+
+    def test_ate_error_symmetric(self):
+        true = np.array([0.0, 0.0])
+        over = np.array([1.0, 1.0])
+        under = np.array([-1.0, -1.0])
+        assert ate_error(true, over) == ate_error(true, under)
+
+    def test_ate_error_zero_for_unbiased_even_if_pehe_high(self):
+        true = np.array([1.0, -1.0])
+        predicted = np.array([-1.0, 1.0])
+        assert ate_error(true, predicted) == pytest.approx(0.0)
+        assert pehe(true, predicted) > 0
+
+
+class TestClassificationMetrics:
+    def test_f1_perfect(self):
+        y = np.array([0, 1, 1, 0, 1])
+        assert f1_score(y, y) == pytest.approx(1.0)
+
+    def test_f1_no_positive_predictions(self):
+        assert f1_score(np.array([1, 1, 0]), np.array([0, 0, 0])) == 0.0
+
+    def test_f1_known_value(self):
+        y_true = np.array([1, 1, 1, 0, 0, 0])
+        y_pred = np.array([1, 1, 0, 1, 0, 0])
+        # tp=2, fp=1, fn=1 -> precision=2/3, recall=2/3 -> f1=2/3
+        assert f1_score(y_true, y_pred) == pytest.approx(2.0 / 3.0)
+
+    def test_f1_thresholds_probabilities(self):
+        y_true = np.array([1, 0])
+        probabilities = np.array([0.7, 0.2])
+        assert f1_score(y_true, probabilities) == pytest.approx(1.0)
+
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 0, 1, 0]), np.array([1, 0, 0, 0])) == pytest.approx(0.75)
+
+    def test_degenerate_all_negative(self):
+        assert f1_score(np.zeros(4), np.zeros(4)) == 0.0
+
+
+class TestEffectEstimates:
+    def test_properties(self):
+        estimates = EffectEstimates(
+            mu0_true=[0.0, 0.0], mu1_true=[1.0, 2.0], mu0_pred=[0.1, 0.0], mu1_pred=[0.9, 2.2]
+        )
+        np.testing.assert_allclose(estimates.true_ite, [1.0, 2.0])
+        np.testing.assert_allclose(estimates.predicted_ite, [0.8, 2.2])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            EffectEstimates(mu0_true=[0.0], mu1_true=[1.0, 2.0], mu0_pred=[0.0], mu1_pred=[1.0])
+
+    def test_evaluate_effect_predictions_binary_includes_f1(self):
+        estimates = EffectEstimates(
+            mu0_true=[0, 0, 1, 0],
+            mu1_true=[1, 1, 1, 0],
+            mu0_pred=[0.1, 0.2, 0.8, 0.1],
+            mu1_pred=[0.9, 0.7, 0.9, 0.2],
+        )
+        metrics = evaluate_effect_predictions(
+            estimates, treatment=np.array([1, 0, 1, 0]), binary_outcome=True
+        )
+        assert {"pehe", "ate_error", "f1_factual", "f1_counterfactual"} <= set(metrics)
+
+    def test_evaluate_effect_predictions_continuous_omits_f1(self):
+        estimates = EffectEstimates(
+            mu0_true=[0.0, 1.0], mu1_true=[2.0, 3.0], mu0_pred=[0.0, 1.0], mu1_pred=[2.0, 3.0]
+        )
+        metrics = evaluate_effect_predictions(estimates, treatment=np.array([0, 1]), binary_outcome=False)
+        assert "f1_factual" not in metrics
+        assert metrics["pehe"] == pytest.approx(0.0)
+
+
+class TestStabilityAggregation:
+    def test_mean_and_stability(self):
+        reports = [
+            EnvironmentReport("e1", {"pehe": 0.4, "f1": 0.8}),
+            EnvironmentReport("e2", {"pehe": 0.6, "f1": 0.8}),
+        ]
+        aggregate = aggregate_across_environments(reports)
+        assert aggregate.mean["pehe"] == pytest.approx(0.5)
+        assert aggregate.stability["pehe"] == pytest.approx(0.01)
+        assert aggregate.stability["f1"] == pytest.approx(0.0)
+        assert aggregate.std["pehe"] == pytest.approx(0.1)
+
+    def test_only_shared_keys_are_aggregated(self):
+        reports = [
+            EnvironmentReport("e1", {"pehe": 0.4, "extra": 1.0}),
+            EnvironmentReport("e2", {"pehe": 0.6}),
+        ]
+        aggregate = aggregate_across_environments(reports)
+        assert "extra" not in aggregate.mean
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            aggregate_across_environments([])

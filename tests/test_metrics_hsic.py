@@ -1,0 +1,187 @@
+"""Unit tests for HSIC, HSIC-RFF and the weighted decorrelation losses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.hsic import (
+    RandomFourierFeatures,
+    hsic,
+    hsic_rff,
+    mean_pairwise_hsic_rff,
+    pairwise_decorrelation_loss,
+    weighted_hsic_rff,
+)
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestRandomFourierFeatures:
+    def test_draw_shapes(self, rng):
+        features = RandomFourierFeatures.draw(7, rng)
+        assert features.num_features == 7
+        assert features.frequencies.shape == (7,)
+        assert features.phases.shape == (7,)
+
+    def test_transform_bounded(self, rng):
+        features = RandomFourierFeatures.draw(5, rng)
+        out = features.transform(rng.normal(size=100))
+        assert out.shape == (100, 5)
+        assert np.all(np.abs(out) <= np.sqrt(2.0) + 1e-12)
+
+    def test_tensor_transform_matches_numpy(self, rng):
+        features = RandomFourierFeatures.draw(5, rng)
+        values = rng.normal(size=50)
+        np.testing.assert_allclose(
+            features.transform_tensor(Tensor(values)).numpy(), features.transform(values), rtol=1e-12
+        )
+
+    def test_invalid_num_features(self, rng):
+        with pytest.raises(ValueError):
+            RandomFourierFeatures.draw(0, rng)
+
+
+class TestHSIC:
+    def test_independent_variables_near_zero(self, rng):
+        a = rng.normal(size=400)
+        b = rng.normal(size=400)
+        c = a + 0.1 * rng.normal(size=400)
+        assert hsic(a, b) < hsic(a, c)
+
+    def test_nonlinear_dependence_detected(self, rng):
+        a = rng.normal(size=400)
+        b = a ** 2 + 0.05 * rng.normal(size=400)
+        independent = rng.normal(size=400)
+        assert hsic(a, b) > 3 * hsic(a, independent)
+
+    def test_nonnegative(self, rng):
+        a, b = rng.normal(size=200), rng.normal(size=200)
+        assert hsic(a, b) >= 0.0
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            hsic(np.zeros(5), np.zeros(6))
+        with pytest.raises(ValueError):
+            hsic(np.zeros(1), np.zeros(1))
+
+
+class TestHSICRFF:
+    def test_dependence_ordering(self, rng):
+        a = rng.normal(size=500)
+        dependent = np.sin(2 * a) + 0.05 * rng.normal(size=500)
+        independent = rng.normal(size=500)
+        assert hsic_rff(a, dependent, rng=np.random.default_rng(0)) > hsic_rff(
+            a, independent, rng=np.random.default_rng(0)
+        )
+
+    def test_deterministic_given_features(self, rng):
+        a, b = rng.normal(size=200), rng.normal(size=200)
+        features = (
+            RandomFourierFeatures.draw(5, np.random.default_rng(1)),
+            RandomFourierFeatures.draw(5, np.random.default_rng(2)),
+        )
+        assert hsic_rff(a, b, features=features) == hsic_rff(a, b, features=features)
+
+    def test_nonnegative(self, rng):
+        a, b = rng.normal(size=200), rng.normal(size=200)
+        assert hsic_rff(a, b) >= 0.0
+
+    def test_mean_pairwise_subsamples_columns(self, rng):
+        matrix = rng.normal(size=(100, 12))
+        value = mean_pairwise_hsic_rff(matrix, max_dims=5, rng=np.random.default_rng(0))
+        assert value >= 0.0
+
+    def test_mean_pairwise_validation(self, rng):
+        with pytest.raises(ValueError):
+            mean_pairwise_hsic_rff(rng.normal(size=(100,)))
+        with pytest.raises(ValueError):
+            mean_pairwise_hsic_rff(rng.normal(size=(100, 1)))
+
+
+class TestWeightedHSICRFF:
+    def test_unit_weights_match_unweighted(self, rng):
+        a, b = rng.normal(size=300), rng.normal(size=300)
+        draw = np.random.default_rng(3)
+        features = (
+            RandomFourierFeatures.draw(5, draw),
+            RandomFourierFeatures.draw(5, draw),
+        )
+        unweighted = hsic_rff(a, b, features=features)
+        weighted = weighted_hsic_rff(Tensor(a), Tensor(b), Tensor(np.ones(300)), features).item()
+        np.testing.assert_allclose(weighted, unweighted, rtol=1e-10)
+
+    def test_weights_reduce_induced_dependence(self, rng):
+        # Build two independent variables, then make them dependent through
+        # biased inclusion; down-weighting the biased half restores independence.
+        n = 600
+        a = rng.normal(size=n)
+        b = rng.normal(size=n)
+        b[: n // 2] = a[: n // 2] + 0.05 * rng.normal(size=n // 2)
+        draw = np.random.default_rng(4)
+        features = (
+            RandomFourierFeatures.draw(5, draw),
+            RandomFourierFeatures.draw(5, draw),
+        )
+        uniform = weighted_hsic_rff(Tensor(a), Tensor(b), Tensor(np.ones(n)), features).item()
+        weights = np.concatenate([np.full(n // 2, 1e-3), np.ones(n // 2)])
+        downweighted = weighted_hsic_rff(Tensor(a), Tensor(b), Tensor(weights), features).item()
+        assert downweighted < uniform
+
+    def test_differentiable_wrt_weights(self, rng):
+        a = rng.normal(size=200)
+        b = a + 0.1 * rng.normal(size=200)
+        draw = np.random.default_rng(5)
+        features = (
+            RandomFourierFeatures.draw(5, draw),
+            RandomFourierFeatures.draw(5, draw),
+        )
+        weights = Tensor(np.ones(200), requires_grad=True)
+        loss = weighted_hsic_rff(Tensor(a), Tensor(b), weights, features)
+        loss.backward()
+        assert weights.grad is not None and np.any(weights.grad != 0)
+
+
+class TestPairwiseDecorrelationLoss:
+    def _features(self, count, seed=0):
+        rng = np.random.default_rng(seed)
+        return [RandomFourierFeatures.draw(5, rng) for _ in range(count)]
+
+    def test_sums_over_pairs(self, rng):
+        matrix = rng.normal(size=(100, 3))
+        weights = Tensor(np.ones(100))
+        features = self._features(3)
+        total = pairwise_decorrelation_loss(Tensor(matrix), weights, features).item()
+        manual = sum(
+            weighted_hsic_rff(
+                Tensor(matrix[:, i]), Tensor(matrix[:, j]), weights, (features[i], features[j])
+            ).item()
+            for i in range(3)
+            for j in range(i + 1, 3)
+        )
+        np.testing.assert_allclose(total, manual, rtol=1e-10)
+
+    def test_max_pairs_subsampling(self, rng):
+        matrix = rng.normal(size=(50, 8))
+        weights = Tensor(np.ones(50))
+        features = self._features(8)
+        value = pairwise_decorrelation_loss(
+            Tensor(matrix), weights, features, max_pairs=3, rng=np.random.default_rng(0)
+        ).item()
+        assert value >= 0.0
+
+    def test_single_column_returns_zero(self, rng):
+        matrix = rng.normal(size=(50, 1))
+        value = pairwise_decorrelation_loss(
+            Tensor(matrix), Tensor(np.ones(50)), self._features(1)
+        ).item()
+        assert value == 0.0
+
+    def test_requires_enough_feature_draws(self, rng):
+        matrix = rng.normal(size=(50, 4))
+        with pytest.raises(ValueError):
+            pairwise_decorrelation_loss(Tensor(matrix), Tensor(np.ones(50)), self._features(2))

@@ -1,0 +1,126 @@
+"""Unit tests for the Integral Probability Metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.ipm import (
+    ipm_distance,
+    mmd_linear,
+    mmd_linear_weighted,
+    mmd_rbf,
+    mmd_rbf_weighted,
+    wasserstein,
+    weighted_ipm,
+)
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def groups():
+    rng = np.random.default_rng(0)
+    control = rng.normal(0.0, 1.0, size=(150, 4))
+    treated_same = rng.normal(0.0, 1.0, size=(140, 4))
+    treated_shifted = rng.normal(1.5, 1.0, size=(140, 4))
+    return control, treated_same, treated_shifted
+
+
+class TestNumpyIPM:
+    def test_mmd_linear_zero_for_identical(self, groups):
+        control, _, _ = groups
+        assert mmd_linear(control, control) == pytest.approx(0.0, abs=1e-12)
+
+    def test_mmd_linear_detects_mean_shift(self, groups):
+        control, same, shifted = groups
+        assert mmd_linear(control, shifted) > mmd_linear(control, same)
+
+    def test_mmd_rbf_nonnegative_and_ordered(self, groups):
+        control, same, shifted = groups
+        d_same = mmd_rbf(control, same)
+        d_shifted = mmd_rbf(control, shifted)
+        assert d_same >= 0.0
+        assert d_shifted > d_same
+
+    def test_wasserstein_ordering(self, groups):
+        control, same, shifted = groups
+        assert wasserstein(control, shifted) > wasserstein(control, same)
+
+    def test_wasserstein_identical_much_smaller_than_shifted(self, groups):
+        # The entropic (Sinkhorn) approximation has a small blur, so the
+        # self-distance is not exactly zero — but it must be far below the
+        # distance to a mean-shifted population.
+        control, _, shifted = groups
+        assert wasserstein(control, control) < 0.05 * wasserstein(control, shifted)
+
+    def test_dispatch_by_name(self, groups):
+        control, same, _ = groups
+        assert ipm_distance(control, same, kind="mmd_linear") == pytest.approx(
+            mmd_linear(control, same)
+        )
+        with pytest.raises(ValueError):
+            ipm_distance(control, same, kind="bogus")
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            mmd_linear(np.zeros((3, 2)), np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            mmd_linear(np.zeros((0, 2)), np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            mmd_linear(np.zeros(3), np.zeros(3))
+
+
+class TestWeightedIPM:
+    def test_unit_weights_match_unweighted_linear(self, groups):
+        control, _, shifted = groups
+        unweighted = mmd_linear(control, shifted)
+        weighted = mmd_linear_weighted(
+            Tensor(control), Tensor(shifted), Tensor(np.ones(len(control))), Tensor(np.ones(len(shifted)))
+        ).item()
+        np.testing.assert_allclose(weighted, unweighted, rtol=1e-10)
+
+    def test_none_weights_match_unweighted(self, groups):
+        control, _, shifted = groups
+        weighted = mmd_linear_weighted(Tensor(control), Tensor(shifted)).item()
+        np.testing.assert_allclose(weighted, mmd_linear(control, shifted), rtol=1e-10)
+
+    def test_weights_can_remove_mean_shift(self):
+        # Control group is a mixture of two clusters; the treated group matches
+        # only one of them.  Up-weighting that cluster should shrink the IPM.
+        rng = np.random.default_rng(1)
+        cluster_a = rng.normal(0.0, 0.3, size=(100, 3))
+        cluster_b = rng.normal(3.0, 0.3, size=(100, 3))
+        control = np.vstack([cluster_a, cluster_b])
+        treated = rng.normal(0.0, 0.3, size=(80, 3))
+        uniform = mmd_linear_weighted(Tensor(control), Tensor(treated)).item()
+        weights = np.concatenate([np.ones(100), np.full(100, 1e-3)])
+        reweighted = mmd_linear_weighted(
+            Tensor(control), Tensor(treated), Tensor(weights), None
+        ).item()
+        assert reweighted < uniform * 0.1
+
+    def test_weighted_mmd_is_differentiable_wrt_weights(self, groups):
+        control, _, shifted = groups
+        weights = Tensor(np.ones(len(control)), requires_grad=True)
+        loss = mmd_linear_weighted(Tensor(control), Tensor(shifted), weights, None)
+        loss.backward()
+        assert weights.grad is not None
+        assert np.any(np.abs(weights.grad) > 0)
+
+    def test_weighted_rbf_nonnegative(self, groups):
+        control, _, shifted = groups
+        value = mmd_rbf_weighted(Tensor(control[:50]), Tensor(shifted[:50])).item()
+        assert value >= -1e-10
+
+    def test_weighted_rbf_unit_weights_match_numpy(self, groups):
+        control, _, shifted = groups
+        tensor_value = mmd_rbf_weighted(Tensor(control[:60]), Tensor(shifted[:60])).item()
+        numpy_value = mmd_rbf(control[:60], shifted[:60])
+        np.testing.assert_allclose(tensor_value, numpy_value, rtol=1e-8, atol=1e-10)
+
+    def test_dispatch_and_validation(self, groups):
+        control, _, shifted = groups
+        value = weighted_ipm(Tensor(control), Tensor(shifted), kind="mmd_linear").item()
+        assert value >= 0
+        with pytest.raises(ValueError):
+            weighted_ipm(Tensor(control), Tensor(shifted), kind="wasserstein")

@@ -1,0 +1,100 @@
+"""Unit tests for the functional layer (activations and losses)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class TestActivations:
+    def test_elu_matches_definition(self):
+        x = np.array([-2.0, -0.5, 0.0, 1.5])
+        out = F.elu(x).numpy()
+        expected = np.where(x > 0, x, np.exp(x) - 1.0)
+        np.testing.assert_allclose(out, expected)
+
+    def test_relu(self):
+        out = F.relu(np.array([-1.0, 0.0, 2.0])).numpy()
+        np.testing.assert_allclose(out, [0.0, 0.0, 2.0])
+
+    def test_sigmoid_range_and_symmetry(self):
+        x = np.linspace(-5, 5, 11)
+        out = F.sigmoid(x).numpy()
+        assert np.all(out > 0) and np.all(out < 1)
+        np.testing.assert_allclose(out + out[::-1], np.ones_like(out), atol=1e-12)
+
+    def test_sigmoid_extreme_values_do_not_overflow(self):
+        out = F.sigmoid(np.array([-1e4, 1e4])).numpy()
+        assert np.isfinite(out).all()
+
+    def test_tanh_and_softplus(self):
+        x = np.array([-1.0, 0.0, 1.0])
+        np.testing.assert_allclose(F.tanh(x).numpy(), np.tanh(x))
+        np.testing.assert_allclose(F.softplus(x).numpy(), np.log1p(np.exp(x)))
+
+    def test_linear_with_and_without_bias(self):
+        x = np.array([[1.0, 2.0]])
+        weight = Tensor(np.array([[1.0], [3.0]]))
+        bias = Tensor(np.array([0.5]))
+        np.testing.assert_allclose(F.linear(x, weight).numpy(), [[7.0]])
+        np.testing.assert_allclose(F.linear(x, weight, bias).numpy(), [[7.5]])
+
+    def test_normalize_rows_unit_norm(self):
+        x = np.random.default_rng(0).normal(size=(6, 4)) * 5.0
+        out = F.normalize_rows(x).numpy()
+        np.testing.assert_allclose(np.linalg.norm(out, axis=1), np.ones(6), atol=1e-6)
+
+
+class TestLosses:
+    def test_mse_loss_value(self):
+        pred = np.array([1.0, 2.0, 3.0])
+        target = np.array([1.0, 1.0, 1.0])
+        np.testing.assert_allclose(F.mse_loss(pred, target).item(), (0 + 1 + 4) / 3)
+
+    def test_weighted_mse_matches_unweighted_with_unit_weights(self):
+        rng = np.random.default_rng(1)
+        pred, target = rng.normal(size=10), rng.normal(size=10)
+        unweighted = F.mse_loss(pred, target).item()
+        weighted = F.weighted_mse_loss(pred, target, np.ones(10)).item()
+        np.testing.assert_allclose(unweighted, weighted)
+
+    def test_weighted_mse_emphasises_high_weight_samples(self):
+        pred = np.array([0.0, 0.0])
+        target = np.array([1.0, 10.0])
+        weights_focus_small = np.array([2.0, 0.0])
+        weights_focus_large = np.array([0.0, 2.0])
+        small = F.weighted_mse_loss(pred, target, weights_focus_small).item()
+        large = F.weighted_mse_loss(pred, target, weights_focus_large).item()
+        assert large > small
+
+    def test_binary_cross_entropy_perfect_prediction_is_small(self):
+        target = np.array([0.0, 1.0, 1.0])
+        good = F.binary_cross_entropy(np.array([0.01, 0.99, 0.99]), target).item()
+        bad = F.binary_cross_entropy(np.array([0.9, 0.1, 0.2]), target).item()
+        assert good < 0.05 < bad
+
+    def test_binary_cross_entropy_clips_extremes(self):
+        value = F.binary_cross_entropy(np.array([0.0, 1.0]), np.array([0.0, 1.0])).item()
+        assert np.isfinite(value)
+
+    def test_weighted_bce_unit_weights_match(self):
+        rng = np.random.default_rng(2)
+        pred = rng.uniform(0.05, 0.95, size=20)
+        target = (rng.uniform(size=20) > 0.5).astype(float)
+        np.testing.assert_allclose(
+            F.binary_cross_entropy(pred, target).item(),
+            F.weighted_binary_cross_entropy(pred, target, np.ones(20)).item(),
+        )
+
+    def test_l2_penalty_sums_squares(self):
+        params = [Tensor(np.array([1.0, 2.0])), Tensor(np.array([[2.0]]))]
+        np.testing.assert_allclose(F.l2_penalty(params).item(), 1 + 4 + 4)
+
+    def test_losses_are_differentiable(self):
+        pred = Tensor(np.array([0.3, 0.6]), requires_grad=True)
+        loss = F.binary_cross_entropy(pred, np.array([0.0, 1.0]))
+        loss.backward()
+        assert pred.grad is not None and np.isfinite(pred.grad).all()

@@ -1,0 +1,122 @@
+"""Unit tests for the module system (Linear, MLP, RepresentationNetwork)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.modules import MLP, Linear, Module, RepresentationNetwork, Sequential, resolve_activation
+from repro.nn.tensor import Tensor
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        out = layer(np.zeros((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_bias_optional(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0), bias=False)
+        assert layer.bias is None
+        assert sum(1 for _ in layer.parameters()) == 1
+
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_parameters_receive_gradients(self):
+        layer = Linear(2, 2, rng=np.random.default_rng(1))
+        out = layer(np.ones((3, 2))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestModuleTree:
+    def test_named_parameters_are_qualified(self):
+        mlp = MLP(3, [4, 4], out_features=1, rng=np.random.default_rng(0))
+        names = dict(mlp.named_parameters())
+        assert any(name.startswith("hidden0.") for name in names)
+        assert any(name.startswith("output.") for name in names)
+
+    def test_num_parameters_counts_scalars(self):
+        mlp = MLP(3, [4], out_features=2, rng=np.random.default_rng(0))
+        expected = 3 * 4 + 4 + 4 * 2 + 2
+        assert mlp.num_parameters() == expected
+
+    def test_state_dict_roundtrip(self):
+        mlp = MLP(3, [4], out_features=1, rng=np.random.default_rng(0))
+        state = mlp.state_dict()
+        for param in mlp.parameters():
+            param.data += 1.0
+        mlp.load_state_dict(state)
+        restored = mlp.state_dict()
+        for key in state:
+            np.testing.assert_allclose(state[key], restored[key])
+
+    def test_load_state_dict_rejects_mismatch(self):
+        mlp = MLP(3, [4], out_features=1, rng=np.random.default_rng(0))
+        state = mlp.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError):
+            mlp.load_state_dict(state)
+
+    def test_zero_grad_clears_all(self):
+        mlp = MLP(3, [4], out_features=1, rng=np.random.default_rng(0))
+        mlp(np.ones((2, 3))).sum().backward()
+        assert any(p.grad is not None for p in mlp.parameters())
+        mlp.zero_grad()
+        assert all(p.grad is None for p in mlp.parameters())
+
+
+class TestMLP:
+    def test_forward_with_hidden_exposes_every_layer(self):
+        mlp = MLP(5, [8, 6, 4], out_features=1, rng=np.random.default_rng(0))
+        out, hidden = mlp.forward_with_hidden(np.zeros((7, 5)))
+        assert out.shape == (7, 1)
+        assert [h.shape[1] for h in hidden] == [8, 6, 4]
+
+    def test_output_activation(self):
+        mlp = MLP(3, [4], out_features=1, output_activation="sigmoid", rng=np.random.default_rng(0))
+        out = mlp(np.random.default_rng(1).normal(size=(10, 3))).numpy()
+        assert np.all(out > 0) and np.all(out < 1)
+
+    def test_no_output_layer(self):
+        mlp = MLP(3, [4, 5], out_features=None, rng=np.random.default_rng(0))
+        out = mlp(np.zeros((2, 3)))
+        assert out.shape == (2, 5)
+        assert mlp.output_dim == 5
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(ValueError):
+            MLP(3, [4], activation="bogus")
+
+    def test_resolve_activation_accepts_callable(self):
+        fn = resolve_activation(lambda x: x)
+        assert callable(fn)
+
+
+class TestSequential:
+    def test_runs_layers_in_order(self):
+        rng = np.random.default_rng(0)
+        seq = Sequential(Linear(3, 4, rng=rng), Linear(4, 2, rng=rng))
+        assert len(seq) == 2
+        out = seq(np.zeros((5, 3)))
+        assert out.shape == (5, 2)
+
+
+class TestRepresentationNetwork:
+    def test_normalized_rows(self):
+        net = RepresentationNetwork(4, [8, 8], normalize=True, rng=np.random.default_rng(0))
+        rep = net(np.random.default_rng(1).normal(size=(6, 4))).numpy()
+        np.testing.assert_allclose(np.linalg.norm(rep, axis=1), np.ones(6), atol=1e-6)
+
+    def test_hidden_layers_exclude_representation(self):
+        net = RepresentationNetwork(4, [8, 6, 5], rng=np.random.default_rng(0))
+        rep, hidden = net.forward_with_hidden(np.zeros((3, 4)))
+        assert rep.shape == (3, 5)
+        assert [h.shape[1] for h in hidden] == [8, 6]
+
+    def test_requires_at_least_one_layer(self):
+        with pytest.raises(ValueError):
+            RepresentationNetwork(4, [])

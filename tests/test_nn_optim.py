@@ -1,0 +1,124 @@
+"""Unit tests for optimisers and learning-rate schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.modules import Linear
+from repro.nn.optim import SGD, Adam, ConstantSchedule, ExponentialDecay
+from repro.nn.tensor import Tensor
+
+
+class TestSchedules:
+    def test_constant_schedule(self):
+        schedule = ConstantSchedule(0.1)
+        assert schedule(0) == schedule(100) == 0.1
+
+    def test_constant_schedule_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(0.0)
+
+    def test_exponential_decay_decreases(self):
+        schedule = ExponentialDecay(0.1, decay_rate=0.9, decay_steps=10)
+        values = [schedule(step) for step in (0, 10, 20, 100)]
+        assert values[0] == pytest.approx(0.1)
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_exponential_decay_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialDecay(0.1, decay_rate=1.5)
+        with pytest.raises(ValueError):
+            ExponentialDecay(0.1, decay_steps=0)
+
+
+def quadratic_loss(param: Tensor) -> Tensor:
+    target = np.array([3.0, -2.0])
+    diff = param - target
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Tensor(np.zeros(2), requires_grad=True)
+        optimizer = SGD([param], lr=0.1)
+        for _ in range(200):
+            loss = quadratic_loss(param)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, [3.0, -2.0], atol=1e-3)
+
+    def test_momentum_accepted(self):
+        param = Tensor(np.zeros(2), requires_grad=True)
+        optimizer = SGD([param], lr=0.01, momentum=0.9)
+        for _ in range(300):
+            loss = quadratic_loss(param)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, [3.0, -2.0], atol=1e-2)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor([0.0], requires_grad=True)], momentum=1.5)
+
+    def test_skips_parameters_without_grad(self):
+        param = Tensor(np.zeros(2), requires_grad=True)
+        optimizer = SGD([param], lr=0.1)
+        optimizer.step()
+        np.testing.assert_allclose(param.data, np.zeros(2))
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Tensor(np.zeros(2), requires_grad=True)
+        optimizer = Adam([param], lr=0.1)
+        for _ in range(400):
+            loss = quadratic_loss(param)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, [3.0, -2.0], atol=1e-2)
+
+    def test_trains_linear_regression(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(200, 3))
+        true_weights = np.array([[1.0], [-2.0], [0.5]])
+        targets = features @ true_weights
+        layer = Linear(3, 1, rng=rng)
+        optimizer = Adam(layer.parameters(), lr=0.05)
+        for _ in range(300):
+            prediction = layer(features)
+            diff = prediction - targets
+            loss = (diff * diff).mean()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(layer.weight.data, true_weights, atol=0.05)
+
+    def test_weight_decay_shrinks_parameters(self):
+        param = Tensor(np.array([10.0]), requires_grad=True)
+        optimizer = Adam([param], lr=0.1, weight_decay=1.0)
+        for _ in range(50):
+            loss = (param * 0.0).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert abs(param.data[0]) < 10.0
+
+    def test_schedule_integration(self):
+        param = Tensor(np.zeros(1), requires_grad=True)
+        optimizer = Adam([param], schedule=ExponentialDecay(0.1, 0.5, 1))
+        assert optimizer.current_lr == pytest.approx(0.1)
+        loss = quadratic_loss(Tensor(np.zeros(2), requires_grad=True))
+        optimizer.step_count = 2
+        assert optimizer.current_lr == pytest.approx(0.025)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Tensor([0.0], requires_grad=True)], betas=(1.0, 0.999))
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([])

@@ -1,0 +1,237 @@
+"""Unit tests for the reverse-mode autodiff engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack
+
+
+def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of a scalar-valued function."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_loss, x_value: np.ndarray, tolerance: float = 1e-5) -> None:
+    """Compare autodiff gradients against finite differences."""
+    x = Tensor(x_value.copy(), requires_grad=True)
+    loss = build_loss(x)
+    loss.backward()
+    analytic = x.grad
+
+    def numeric_fn(values: np.ndarray) -> float:
+        return build_loss(Tensor(values)).item()
+
+    numeric = numerical_gradient(numeric_fn, x_value.copy())
+    np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=tolerance)
+
+
+class TestBasicOps:
+    def test_addition_values_and_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        out = (a + b).sum()
+        out.backward()
+        np.testing.assert_allclose(out.item(), 10.0)
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+    def test_multiplication_grad(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([5.0, 7.0], requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [5.0, 7.0])
+        np.testing.assert_allclose(b.grad, [2.0, 3.0])
+
+    def test_division_and_power(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0.5, 2.0, size=(3, 4))
+        check_gradient(lambda t: (t / 3.0 + 2.0 / t).sum(), x)
+        check_gradient(lambda t: (t ** 3).sum(), x)
+
+    def test_subtraction_and_negation(self):
+        a = Tensor([5.0], requires_grad=True)
+        b = Tensor([3.0], requires_grad=True)
+        (a - b).backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+        np.testing.assert_allclose(b.grad, [-1.0])
+
+    def test_broadcasting_gradients(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.full((1, 4), 2.0), requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (1, 4)
+        np.testing.assert_allclose(b.grad, np.full((1, 4), 3.0))
+
+    def test_scalar_operand_promotion(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = (2.0 * a + 1.0).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, [2.0, 2.0])
+
+    def test_matmul_gradients(self):
+        rng = np.random.default_rng(1)
+        a_value = rng.normal(size=(4, 3))
+        b_value = rng.normal(size=(3, 2))
+        check_gradient(lambda t: (t.matmul(b_value)).sum(), a_value)
+        check_gradient(lambda t: (Tensor(a_value).matmul(t)).sum(), b_value)
+
+    def test_matmul_vector_cases(self):
+        a = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        b = Tensor([4.0, 5.0, 6.0], requires_grad=True)
+        (a @ b).backward()
+        np.testing.assert_allclose(a.grad, [4.0, 5.0, 6.0])
+        np.testing.assert_allclose(b.grad, [1.0, 2.0, 3.0])
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        x = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+        out = x.sum(axis=0, keepdims=True)
+        assert out.shape == (1, 4)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((3, 4)))
+
+    def test_mean_gradient(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(5, 3))
+        check_gradient(lambda t: (t.mean(axis=1) ** 2).sum(), x)
+
+    def test_var(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=10)
+        t = as_tensor(values)
+        np.testing.assert_allclose(t.var().item(), values.var(), rtol=1e-10)
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize(
+        "op",
+        ["exp", "log", "sqrt", "tanh", "sigmoid", "relu", "elu", "softplus", "cos", "sin", "abs"],
+    )
+    def test_elementwise_gradients(self, op):
+        rng = np.random.default_rng(4)
+        x = rng.uniform(0.2, 1.5, size=(3, 3))
+        check_gradient(lambda t: getattr(t, op)().sum(), x)
+
+    def test_clip_gradient_masks_outside(self):
+        x = Tensor([-2.0, 0.5, 3.0], requires_grad=True)
+        x.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_maximum(self):
+        a = Tensor([1.0, 5.0], requires_grad=True)
+        b = Tensor([3.0, 2.0], requires_grad=True)
+        a.maximum(b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 0.0])
+
+
+class TestShapeOps:
+    def test_reshape_and_transpose(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(2, 6))
+        check_gradient(lambda t: (t.reshape(3, 4).transpose() ** 2).sum(), x)
+
+    def test_getitem_rows(self):
+        x = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        x[np.array([0, 2])].sum().backward()
+        expected = np.zeros((4, 3))
+        expected[[0, 2]] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_getitem_column(self):
+        x = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        (x[:, 1] ** 2).sum().backward()
+        expected = np.zeros((4, 3))
+        expected[:, 1] = 2.0 * np.arange(12.0).reshape(4, 3)[:, 1]
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_concatenate(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.full((3, 2), 2.0), requires_grad=True)
+        out = concatenate([a, b], axis=0)
+        assert out.shape == (5, 2)
+        (out * 3.0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 2), 3.0))
+        np.testing.assert_allclose(b.grad, np.full((3, 2), 3.0))
+
+    def test_stack(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 2)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+
+
+class TestGraphMechanics:
+    def test_gradient_accumulates_over_reuse(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * x + x * 3.0
+        y.backward()
+        np.testing.assert_allclose(x.grad, [2 * 2.0 + 3.0])
+
+    def test_no_grad_context(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            x = Tensor([1.0], requires_grad=True)
+            y = x * 2.0
+            assert not y.requires_grad
+        assert is_grad_enabled()
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = (x * 2.0).detach()
+        assert not y.requires_grad
+
+    def test_backward_requires_grad(self):
+        x = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_backward_non_scalar_needs_grad_argument(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+        (x * 2.0).backward(np.array([1.0, 1.0]))
+        np.testing.assert_allclose(x.grad, [2.0, 2.0])
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_deep_chain_does_not_overflow(self):
+        x = Tensor([1.0], requires_grad=True)
+        out = x
+        for _ in range(3000):
+            out = out + 0.001
+        out.backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_composite_expression_matches_numeric(self):
+        rng = np.random.default_rng(6)
+        x = rng.uniform(0.3, 1.0, size=(4, 4))
+
+        def loss(t):
+            hidden = (t.matmul(np.eye(4) * 0.5) + 1.0).tanh()
+            return ((hidden * hidden).mean(axis=0).sqrt()).sum()
+
+        check_gradient(loss, x)

@@ -1,0 +1,156 @@
+"""Property-based tests (hypothesis) on the core numerical invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data.dataset import CausalDataset
+from repro.metrics.evaluation import ate_error, f1_score, pehe
+from repro.metrics.hsic import RandomFourierFeatures, hsic_rff, weighted_hsic_rff
+from repro.metrics.ipm import mmd_linear, mmd_linear_weighted, mmd_rbf
+from repro.nn.tensor import Tensor
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+def arrays(shape):
+    return hnp.arrays(np.float64, shape, elements=finite_floats)
+
+
+class TestAutodiffProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(arrays((4, 3)), arrays((4, 3)))
+    def test_sum_rule(self, a, b):
+        """d/dx sum(x + y) == 1 everywhere."""
+        x = Tensor(a, requires_grad=True)
+        y = Tensor(b, requires_grad=True)
+        (x + y).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(a))
+        np.testing.assert_allclose(y.grad, np.ones_like(b))
+
+    @settings(max_examples=25, deadline=None)
+    @given(arrays((5,)))
+    def test_product_rule_against_numeric(self, values):
+        x = Tensor(values, requires_grad=True)
+        (x * x * x).sum().backward()
+        np.testing.assert_allclose(x.grad, 3.0 * values ** 2, rtol=1e-8, atol=1e-8)
+
+    @settings(max_examples=25, deadline=None)
+    @given(arrays((3, 4)))
+    def test_mean_gradient_is_uniform(self, values):
+        x = Tensor(values, requires_grad=True)
+        x.mean().backward()
+        np.testing.assert_allclose(x.grad, np.full_like(values, 1.0 / values.size))
+
+    @settings(max_examples=25, deadline=None)
+    @given(arrays((6,)))
+    def test_sigmoid_bounded_gradient(self, values):
+        x = Tensor(values, requires_grad=True)
+        x.sigmoid().sum().backward()
+        assert np.all(x.grad >= 0.0) and np.all(x.grad <= 0.25 + 1e-12)
+
+
+class TestMetricProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(arrays((20,)), arrays((20,)))
+    def test_pehe_nonnegative_and_symmetric_in_error_sign(self, true, predicted):
+        value = pehe(true, predicted)
+        assert value >= 0.0
+        mirrored = pehe(predicted, true)
+        assert value == pytest.approx(mirrored)
+
+    @settings(max_examples=50, deadline=None)
+    @given(arrays((20,)))
+    def test_pehe_identity(self, true):
+        assert pehe(true, true) == 0.0
+        assert ate_error(true, true) == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(arrays((20,)), arrays((20,)))
+    def test_ate_error_bounded_by_pehe(self, true, predicted):
+        """|mean error| <= RMSE of errors (Jensen)."""
+        assert ate_error(true, predicted) <= pehe(true, predicted) + 1e-12
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        hnp.arrays(np.int64, (25,), elements=st.integers(0, 1)),
+        hnp.arrays(np.int64, (25,), elements=st.integers(0, 1)),
+    )
+    def test_f1_in_unit_interval(self, y_true, y_pred):
+        value = f1_score(y_true, y_pred)
+        assert 0.0 <= value <= 1.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(arrays((15, 3)))
+    def test_mmd_identity_and_nonnegativity(self, group):
+        assert mmd_linear(group, group) == pytest.approx(0.0, abs=1e-9)
+        assert mmd_rbf(group, group) == pytest.approx(0.0, abs=1e-7)
+
+    @settings(max_examples=25, deadline=None)
+    @given(arrays((12, 3)), arrays((14, 3)))
+    def test_mmd_symmetry(self, a, b):
+        assert mmd_linear(a, b) == pytest.approx(mmd_linear(b, a))
+        np.testing.assert_allclose(mmd_rbf(a, b), mmd_rbf(b, a), rtol=1e-9, atol=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(arrays((18, 4)), arrays((16, 4)))
+    def test_weighted_mmd_matches_unweighted_with_unit_weights(self, control, treated):
+        weighted = mmd_linear_weighted(
+            Tensor(control), Tensor(treated), Tensor(np.ones(len(control))), Tensor(np.ones(len(treated)))
+        ).item()
+        np.testing.assert_allclose(weighted, mmd_linear(control, treated), rtol=1e-9, atol=1e-12)
+
+
+class TestHSICProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(arrays((40,)), arrays((40,)))
+    def test_hsic_rff_nonnegative_and_symmetric_features(self, a, b):
+        rng = np.random.default_rng(0)
+        features = (
+            RandomFourierFeatures.draw(5, rng),
+            RandomFourierFeatures.draw(5, rng),
+        )
+        value = hsic_rff(a, b, features=features)
+        assert value >= 0.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(arrays((30,)), arrays((30,)), st.floats(min_value=0.1, max_value=5.0))
+    def test_weighted_hsic_scale_invariance_in_weights(self, a, b, scale):
+        """Multiplying all weights by a constant leaves the loss unchanged."""
+        rng = np.random.default_rng(1)
+        features = (
+            RandomFourierFeatures.draw(5, rng),
+            RandomFourierFeatures.draw(5, rng),
+        )
+        base = weighted_hsic_rff(Tensor(a), Tensor(b), Tensor(np.ones(30)), features).item()
+        scaled = weighted_hsic_rff(Tensor(a), Tensor(b), Tensor(np.full(30, scale)), features).item()
+        np.testing.assert_allclose(base, scaled, rtol=1e-8, atol=1e-10)
+
+
+class TestDatasetProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        hnp.arrays(np.float64, (30, 4), elements=finite_floats),
+        hnp.arrays(np.int64, (30,), elements=st.integers(0, 1)),
+    )
+    def test_outcome_consistency_invariant(self, covariates, treatment):
+        mu0 = covariates[:, 0]
+        mu1 = covariates[:, 1]
+        outcome = np.where(treatment == 1, mu1, mu0)
+        dataset = CausalDataset(
+            covariates=covariates,
+            treatment=treatment.astype(float),
+            outcome=outcome,
+            mu0=mu0,
+            mu1=mu1,
+            binary_outcome=False,
+        )
+        np.testing.assert_allclose(dataset.true_ite, mu1 - mu0)
+        assert dataset.num_treated + dataset.num_control == len(dataset)
+        subset = dataset.subset(np.arange(0, len(dataset), 2))
+        np.testing.assert_allclose(
+            subset.outcome, np.where(subset.treatment == 1, subset.mu1, subset.mu0)
+        )
