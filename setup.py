@@ -1,10 +1,46 @@
 """Setuptools entry point.
 
-Kept alongside ``pyproject.toml`` so that editable installs work in offline
-environments that lack the ``wheel`` package (legacy ``setup.py develop``
-path via ``pip install -e . --no-use-pep517 --no-build-isolation``).
+Carries the full package metadata (there is no ``pyproject.toml``) so that
+editable installs work in offline environments that lack the ``wheel``
+package (legacy ``setup.py develop`` path via
+``pip install -e . --no-use-pep517 --no-build-isolation``).  Installing the
+package exposes the CLI as a real ``repro`` console command.
 """
 
-from setuptools import setup
+import os
+import re
 
-setup()
+from setuptools import find_packages, setup
+
+
+def _read_version() -> str:
+    init_path = os.path.join(os.path.dirname(__file__), "src", "repro", "__init__.py")
+    with open(init_path, "r", encoding="utf-8") as handle:
+        match = re.search(r'^__version__ = "([^"]+)"', handle.read(), re.MULTILINE)
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="repro",
+    version=_read_version(),
+    description=(
+        "Reproduction of SBRL-HAP (ICDE 2024): stable heterogeneous treatment "
+        "effect estimation across out-of-distribution populations"
+    ),
+    long_description=open("README.md", encoding="utf-8").read()
+    if os.path.exists("README.md")
+    else "",
+    long_description_content_type="text/markdown",
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    python_requires=">=3.8",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Intended Audience :: Science/Research",
+        "Topic :: Scientific/Engineering",
+    ],
+)

@@ -5,9 +5,13 @@ Top-level convenience imports::
 
     from repro import HTEEstimator, SyntheticGenerator
 
-See ``README.md`` for a quickstart and ``DESIGN.md`` for the architecture.
+See ``README.md`` for a quickstart, the registry extension points and the
+save/load/serve workflow.
 """
 
+__version__ = "1.1.0"
+
+from . import registry
 from .core import (
     CFR,
     FRAMEWORKS,
@@ -21,6 +25,7 @@ from .core import (
     TrainingConfig,
     paper_preset,
 )
+from .core.sbrl import FrameworkSpec
 from .data import (
     CausalDataset,
     IHDPSimulator,
@@ -30,11 +35,12 @@ from .data import (
     load_benchmark,
 )
 from .metrics import ate_error, f1_score, pehe
-
-__version__ = "1.0.0"
+from .persistence import load_estimator, save_estimator
+from .serve import PredictionService
 
 __all__ = [
     "__version__",
+    "registry",
     "HTEEstimator",
     "SBRLTrainer",
     "SBRLConfig",
@@ -43,6 +49,7 @@ __all__ = [
     "TrainingConfig",
     "paper_preset",
     "FRAMEWORKS",
+    "FrameworkSpec",
     "TARNet",
     "CFR",
     "DeRCFR",
@@ -52,6 +59,9 @@ __all__ = [
     "TwinsSimulator",
     "IHDPSimulator",
     "load_benchmark",
+    "save_estimator",
+    "load_estimator",
+    "PredictionService",
     "pehe",
     "ate_error",
     "f1_score",

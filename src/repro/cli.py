@@ -2,25 +2,34 @@
 
 Exposes the experiment harness without writing Python::
 
-    python -m repro.cli list                       # available experiments / benchmarks
-    python -m repro.cli run table1 --scale smoke   # regenerate one table or figure
-    python -m repro.cli quickstart                 # train two estimators on a tiny benchmark
-    python -m repro.cli ood --benchmark syn_8_8_8_2  # OOD-level report for each environment
+    repro list                       # available experiments / benchmarks
+    repro run table1 --scale smoke   # regenerate one table or figure
+    repro quickstart                 # train two estimators on a tiny benchmark
+    repro ood --benchmark syn_8_8_8_2  # OOD-level report for each environment
 
-The CLI is intentionally thin: every command is a small wrapper over the
-public library API, so anything it does can also be done programmatically.
+    repro save --benchmark syn_8_8_8_2 --output artifacts/model   # train + persist
+    repro predict --model artifacts/model --benchmark syn_8_8_8_2 # serve from artifact
+    repro serve-bench --rows 2000                                 # microbatching benchmark
+
+(Also runnable as ``python -m repro.cli`` when not installed.)  The CLI is
+intentionally thin: every command is a small wrapper over the public library
+API, so anything it does can also be done programmatically.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
 
 from .core.config import SBRLConfig
 from .core.estimator import HTEEstimator
 from .data.loaders import available_benchmarks, load_benchmark
 from .diagnostics import assess_ood_level
+from .serve import PredictionService
 from .experiments import (
     experiment_config,
     figure3_pehe_curves,
@@ -73,6 +82,40 @@ def build_parser() -> argparse.ArgumentParser:
     ood.add_argument("--benchmark", default="syn_8_8_8_2", choices=available_benchmarks())
     ood.add_argument("--num-samples", type=int, default=1000)
     ood.add_argument("--seed", type=int, default=2024)
+
+    save = subparsers.add_parser(
+        "save", help="train an estimator on a benchmark and persist it as an artifact"
+    )
+    save.add_argument("--output", required=True, help="artifact directory to write")
+    save.add_argument("--benchmark", default="syn_8_8_8_2", choices=available_benchmarks())
+    save.add_argument("--backbone", default="cfr")
+    save.add_argument("--framework", default="sbrl-hap")
+    save.add_argument("--num-samples", type=int, default=800)
+    save.add_argument("--scale", default="smoke", choices=("smoke", "default", "paper"))
+    save.add_argument("--seed", type=int, default=2024)
+
+    predict = subparsers.add_parser(
+        "predict", help="predict treatment effects from a saved estimator artifact"
+    )
+    predict.add_argument("--model", required=True, help="artifact directory written by 'repro save'")
+    source = predict.add_mutually_exclusive_group()
+    source.add_argument("--covariates", help="CSV file of covariate rows (no header)")
+    source.add_argument("--benchmark", choices=available_benchmarks(), help="predict on a benchmark test environment")
+    predict.add_argument("--environment", default=None, help="benchmark test-environment key (default: first)")
+    predict.add_argument("--num-samples", type=int, default=800)
+    predict.add_argument("--seed", type=int, default=2024)
+    predict.add_argument("--output", default=None, help="write mu0,mu1,ite rows to this CSV instead of printing")
+    predict.add_argument("--head", type=int, default=5, help="number of example rows to print")
+
+    bench = subparsers.add_parser(
+        "serve-bench", help="benchmark microbatched serving against per-row prediction"
+    )
+    bench.add_argument("--model", default=None, help="artifact directory (default: train a smoke model)")
+    bench.add_argument("--benchmark", default="syn_8_8_8_2", choices=available_benchmarks())
+    bench.add_argument("--rows", type=int, default=2000)
+    bench.add_argument("--requests", type=int, default=200, help="number of microbatched requests")
+    bench.add_argument("--num-samples", type=int, default=600)
+    bench.add_argument("--seed", type=int, default=2024)
 
     return parser
 
@@ -129,19 +172,142 @@ def _command_ood(args: argparse.Namespace) -> int:
     return 0
 
 
+def _train_benchmark_estimator(
+    benchmark: str,
+    backbone: str,
+    framework: str,
+    scale: str,
+    num_samples: int,
+    seed: int,
+):
+    """Train one estimator on a benchmark; returns (estimator, protocol)."""
+    protocol = load_benchmark(benchmark, num_samples=num_samples, seed=seed)
+    config: SBRLConfig = experiment_config(get_scale(scale), seed=seed)
+    estimator = HTEEstimator(backbone=backbone, framework=framework, config=config, seed=seed)
+    estimator.fit(protocol["train"], protocol.get("validation"))
+    return estimator, protocol
+
+
+def _command_save(args: argparse.Namespace) -> int:
+    estimator, protocol = _train_benchmark_estimator(
+        args.benchmark, args.backbone, args.framework, args.scale, args.num_samples, args.seed
+    )
+    path = estimator.save(args.output)
+    rows = []
+    for name, dataset in protocol["test_environments"].items():
+        metrics = estimator.evaluate(dataset)
+        rows.append([str(name), metrics["pehe"], metrics["ate_error"]])
+    print(format_table(
+        ["environment", "PEHE", "ATE bias"], rows,
+        title=f"{estimator.name} on {args.benchmark} (saved to {path})",
+    ))
+    return 0
+
+
+def _resolve_environment(protocol: dict, key: Optional[str]):
+    environments = protocol["test_environments"]
+    if key is None:
+        return next(iter(environments.values()))
+    by_name = {str(name): dataset for name, dataset in environments.items()}
+    if key not in by_name:
+        raise SystemExit(f"unknown environment {key!r}; available: {sorted(by_name)}")
+    return by_name[key]
+
+
+def _command_predict(args: argparse.Namespace) -> int:
+    estimator = HTEEstimator.load(args.model)
+    if args.covariates is not None:
+        covariates = np.loadtxt(args.covariates, delimiter=",", ndmin=2)
+    else:
+        benchmark = args.benchmark or "syn_8_8_8_2"
+        protocol = load_benchmark(benchmark, num_samples=args.num_samples, seed=args.seed)
+        covariates = _resolve_environment(protocol, args.environment).covariates
+    outputs = estimator.predict_potential_outcomes(covariates)
+    if args.output is not None:
+        stacked = np.column_stack([outputs["mu0"], outputs["mu1"], outputs["ite"]])
+        np.savetxt(args.output, stacked, delimiter=",", header="mu0,mu1,ite", comments="")
+        print(f"wrote {len(stacked)} predictions to {args.output}")
+        return 0
+    print(f"model: {estimator.name} ({args.model})")
+    print(f"rows: {len(covariates)}   predicted ATE: {float(np.mean(outputs['ite'])):+.4f}")
+    head = min(args.head, len(covariates))
+    rows = [
+        [index, outputs["mu0"][index], outputs["mu1"][index], outputs["ite"][index]]
+        for index in range(head)
+    ]
+    print(format_table(["row", "mu0", "mu1", "ite"], rows, title=f"first {head} predictions"))
+    return 0
+
+
+def _command_serve_bench(args: argparse.Namespace) -> int:
+    if args.model is not None:
+        estimator = HTEEstimator.load(args.model)
+    else:
+        print("no --model given; training a smoke-scale model first...")
+        estimator, _ = _train_benchmark_estimator(
+            args.benchmark, "cfr", "sbrl-hap", "smoke", args.num_samples, args.seed
+        )
+    rng = np.random.default_rng(args.seed)
+    num_features = estimator.trainer.backbone.num_features
+    covariates = rng.normal(size=(args.rows, num_features))
+    requests = np.array_split(covariates, max(1, min(args.requests, args.rows)))
+
+    start = time.perf_counter()
+    per_row = np.concatenate([estimator.predict_ite(row.reshape(1, -1)) for row in covariates])
+    per_row_seconds = time.perf_counter() - start
+
+    service = PredictionService()
+    service.register_model("bench", estimator)
+    start = time.perf_counter()
+    batched = service.predict_many(requests, model="bench")
+    batched_seconds = time.perf_counter() - start
+    batched_ite = np.concatenate([result["ite"] for result in batched])
+    if not np.allclose(per_row, batched_ite):
+        raise SystemExit("serving results diverged from per-row predictions")
+
+    start = time.perf_counter()
+    service.predict_many(requests, model="bench")
+    cached_seconds = time.perf_counter() - start
+
+    stats = service.stats("bench")["bench"]
+    rows = [
+        ["per-row predict_ite", per_row_seconds, args.rows / per_row_seconds, 1.0],
+        ["microbatched predict_many", batched_seconds, args.rows / batched_seconds,
+         per_row_seconds / batched_seconds],
+        ["microbatched (warm cache)", cached_seconds, args.rows / cached_seconds,
+         per_row_seconds / cached_seconds],
+    ]
+    print(format_table(
+        ["strategy", "seconds", "rows/s", "speedup"], rows,
+        title=f"Serving benchmark: {args.rows} rows, {len(requests)} requests",
+    ))
+    print(f"cache hit rate: {stats['cache_hit_rate']:.2%}   "
+          f"forward batches: {int(stats['batches'])}")
+    return 0
+
+
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "list": _command_list,
     "run": _command_run,
     "quickstart": _command_quickstart,
     "ood": _command_ood,
+    "save": _command_save,
+    "predict": _command_predict,
+    "serve-bench": _command_serve_bench,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from .persistence import ArtifactError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

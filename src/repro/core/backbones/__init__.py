@@ -1,7 +1,21 @@
-"""Representation-balancing backbones: TARNet, CFR and DeR-CFR."""
+"""Representation-balancing backbones: TARNet, CFR and DeR-CFR.
 
-from typing import Dict, Type
+The concrete backbones register themselves into the unified component
+registry (:data:`repro.registry.backbones`), so user code can add custom
+backbones without editing this package::
 
+    from repro.registry import backbones
+
+    @backbones.register("mynet", display_name="MyNet")
+    class MyNet(BaseBackbone):
+        ...
+
+``BACKBONE_REGISTRY`` is kept as a backwards-compatible alias of the registry
+object: it supports ``in``, iteration and ``[...]`` exactly like the plain
+dict it used to be, but reflects later registrations too.
+"""
+
+from ...registry import backbones as BACKBONE_REGISTRY
 from .base import BackboneForward, BaseBackbone, TwoHeadPredictor
 from .cfr import CFR
 from .dercfr import DeRCFR, DeRCFRPenalties
@@ -19,17 +33,14 @@ __all__ = [
     "build_backbone",
 ]
 
-BACKBONE_REGISTRY: Dict[str, Type[BaseBackbone]] = {
-    "tarnet": TARNet,
-    "cfr": CFR,
-    "dercfr": DeRCFR,
-    "der-cfr": DeRCFR,
-}
+if "tarnet" not in BACKBONE_REGISTRY:  # guard against double registration on re-import
+    BACKBONE_REGISTRY.register("tarnet", TARNet, display_name="TARNet")
+    BACKBONE_REGISTRY.register("cfr", CFR, display_name="CFR")
+    BACKBONE_REGISTRY.register(
+        "dercfr", DeRCFR, aliases=("der-cfr",), display_name="DeR-CFR"
+    )
 
 
 def build_backbone(name: str, num_features: int, **kwargs) -> BaseBackbone:
-    """Instantiate a backbone by name."""
-    key = name.lower()
-    if key not in BACKBONE_REGISTRY:
-        raise ValueError(f"unknown backbone {name!r}; available: {sorted(set(BACKBONE_REGISTRY))}")
-    return BACKBONE_REGISTRY[key](num_features, **kwargs)
+    """Instantiate a backbone by registered name (or alias)."""
+    return BACKBONE_REGISTRY.create(name, num_features, **kwargs)

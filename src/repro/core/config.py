@@ -8,8 +8,8 @@ points, and so the defaults of the public API are sensible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
     "BackboneConfig",
@@ -124,6 +124,37 @@ class SBRLConfig:
     def with_overrides(self, **kwargs) -> "SBRLConfig":
         """Return a copy with top-level sections replaced."""
         return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # (De)serialisation — used by the persistence layer (JSON manifests)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Dict[str, Any]]:
+        """Plain nested dict representation (JSON-serialisable)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Mapping[str, Any]]) -> "SBRLConfig":
+        """Rebuild a config from :meth:`to_dict` output (tuples restored)."""
+
+        def _section(section_cls, values):
+            known = {f.name for f in fields(section_cls)}
+            unknown = set(values) - known
+            if unknown:
+                raise ValueError(
+                    f"unknown {section_cls.__name__} fields: {sorted(unknown)}"
+                )
+            kwargs = dict(values)
+            for key, value in kwargs.items():
+                # JSON has no tuples; restore list-valued tuple fields.
+                if isinstance(value, list):
+                    kwargs[key] = tuple(value)
+            return section_cls(**kwargs)
+
+        return cls(
+            backbone=_section(BackboneConfig, payload.get("backbone", {})),
+            regularizers=_section(RegularizerConfig, payload.get("regularizers", {})),
+            training=_section(TrainingConfig, payload.get("training", {})),
+        )
 
 
 def _preset(

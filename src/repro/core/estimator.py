@@ -10,18 +10,27 @@ procedure.  This is the main entry point of the library:
 >>> estimator = HTEEstimator(backbone="cfr", framework="sbrl-hap")
 >>> estimator.fit(protocol["train"])                        # doctest: +SKIP
 >>> metrics = estimator.evaluate(protocol["test_environments"][-3.0])  # doctest: +SKIP
+
+Fitted estimators can be persisted and served without retraining:
+
+>>> estimator.save("artifacts/cfr-sbrl-hap")                # doctest: +SKIP
+>>> reloaded = HTEEstimator.load("artifacts/cfr-sbrl-hap")  # doctest: +SKIP
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import copy
+import dataclasses
+from typing import Any, Dict, Optional
 
 import numpy as np
 
 from ..data.dataset import CausalDataset
+from ..registry import backbones as BACKBONE_REGISTRY
+from ..registry import frameworks as FRAMEWORK_REGISTRY
 from .backbones import build_backbone
 from .config import SBRLConfig
-from .sbrl import FRAMEWORKS, SBRLTrainer, TrainingHistory
+from .sbrl import SBRLTrainer, TrainingHistory
 
 __all__ = ["HTEEstimator"]
 
@@ -32,9 +41,11 @@ class HTEEstimator:
     Parameters
     ----------
     backbone:
-        ``"tarnet"``, ``"cfr"`` or ``"dercfr"``.
+        Name of a registered backbone (``"tarnet"``, ``"cfr"``, ``"dercfr"``
+        or any custom backbone added to :data:`repro.registry.backbones`).
     framework:
-        ``"vanilla"`` (no reweighting), ``"sbrl"`` or ``"sbrl-hap"``.
+        Name of a registered framework: ``"vanilla"`` (no reweighting),
+        ``"sbrl"`` or ``"sbrl-hap"``.
     config:
         Full :class:`SBRLConfig`; defaults to laptop-scale settings.
     binary_outcome:
@@ -45,6 +56,19 @@ class HTEEstimator:
     seed:
         Seed for the backbone's weight initialisation.
     """
+
+    #: Constructor parameters, in signature order — the single source of
+    #: truth for :meth:`get_params` / :meth:`set_params` / :meth:`clone`.
+    _PARAM_NAMES = (
+        "backbone",
+        "framework",
+        "config",
+        "binary_outcome",
+        "use_balance",
+        "use_independence",
+        "use_hierarchy",
+        "seed",
+    )
 
     def __init__(
         self,
@@ -57,10 +81,10 @@ class HTEEstimator:
         use_hierarchy: bool = True,
         seed: int = 2024,
     ) -> None:
-        if framework.lower() not in FRAMEWORKS:
-            raise ValueError(f"framework must be one of {FRAMEWORKS}")
-        self.backbone_name = backbone.lower()
-        self.framework = framework.lower()
+        # Registry resolution validates both names up front, so typos fail
+        # fast at construction instead of at first use.
+        self.backbone_name = BACKBONE_REGISTRY.resolve(backbone)
+        self.framework = FRAMEWORK_REGISTRY.resolve(framework)
         self.config = config if config is not None else SBRLConfig()
         self.binary_outcome = binary_outcome
         self.use_balance = use_balance
@@ -70,20 +94,103 @@ class HTEEstimator:
         self.trainer: Optional[SBRLTrainer] = None
 
     # ------------------------------------------------------------------ #
+    # Estimator protocol (sklearn-compatible)
+    # ------------------------------------------------------------------ #
     @property
     def name(self) -> str:
-        """Readable method name, e.g. ``"CFR+SBRL-HAP"``."""
-        backbone = {"tarnet": "TARNet", "cfr": "CFR", "dercfr": "DeR-CFR", "der-cfr": "DeR-CFR"}[
-            self.backbone_name
-        ]
-        if self.framework == "vanilla":
+        """Readable method name, e.g. ``"CFR+SBRL-HAP"``, from the registry."""
+        backbone = BACKBONE_REGISTRY.display_name(self.backbone_name)
+        spec = FRAMEWORK_REGISTRY.get(self.framework)
+        if not spec.uses_weights:
             return backbone
-        return f"{backbone}+{self.framework.upper()}"
+        return f"{backbone}+{spec.display_name}"
 
     @property
     def is_fitted(self) -> bool:
-        return self.trainer is not None and self.trainer._standardize_mean is not None
+        return self.trainer is not None and self.trainer.is_fitted
 
+    def get_params(self, deep: bool = True) -> Dict[str, Any]:
+        """Constructor parameters as a dict (sklearn convention).
+
+        With ``deep=True`` the config is deep-copied (so mutating the result
+        cannot corrupt this estimator) and its sections are additionally
+        exposed as sklearn-style double-underscore keys
+        (``config__training__learning_rate``, ...), so grid-search tooling
+        written against the sklearn protocol can enumerate and set them.
+        """
+        config = copy.deepcopy(self.config) if deep else self.config
+        params: Dict[str, Any] = {
+            "backbone": self.backbone_name,
+            "framework": self.framework,
+            "config": config,
+            "binary_outcome": self.binary_outcome,
+            "use_balance": self.use_balance,
+            "use_independence": self.use_independence,
+            "use_hierarchy": self.use_hierarchy,
+            "seed": self.seed,
+        }
+        if deep:
+            for section_name in ("backbone", "regularizers", "training"):
+                section = getattr(config, section_name)
+                params[f"config__{section_name}"] = section
+                for field in dataclasses.fields(section):
+                    params[f"config__{section_name}__{field.name}"] = getattr(
+                        section, field.name
+                    )
+        return params
+
+    def set_params(self, **params) -> "HTEEstimator":
+        """Update constructor parameters in place; returns ``self``.
+
+        Accepts both top-level names and sklearn-style nested keys such as
+        ``config__training__learning_rate``.  Unknown names raise
+        ``ValueError``; backbone / framework values are validated against
+        the registries just like in ``__init__``.
+        """
+        nested = {key: value for key, value in params.items() if "__" in key}
+        flat = {key: value for key, value in params.items() if "__" not in key}
+        unknown = set(flat) - set(self._PARAM_NAMES)
+        if unknown:
+            raise ValueError(
+                f"invalid parameters {sorted(unknown)}; valid: {list(self._PARAM_NAMES)}"
+            )
+        if "backbone" in flat:
+            self.backbone_name = BACKBONE_REGISTRY.resolve(flat.pop("backbone"))
+        if "framework" in flat:
+            self.framework = FRAMEWORK_REGISTRY.resolve(flat.pop("framework"))
+        if "config" in flat:
+            config = flat.pop("config")
+            self.config = config if config is not None else SBRLConfig()
+        for key, value in flat.items():
+            setattr(self, key, value)
+        for key, value in nested.items():
+            self._set_nested_param(key, value)
+        return self
+
+    def _set_nested_param(self, key: str, value: Any) -> None:
+        head, _, rest = key.partition("__")
+        if head != "config" or not rest:
+            raise ValueError(
+                f"invalid parameter {key!r}; nested parameters must start with 'config__'"
+            )
+        target = self.config
+        path = rest.split("__")
+        for attr in path[:-1]:
+            if not hasattr(target, attr):
+                raise ValueError(f"invalid parameter {key!r}: no attribute {attr!r}")
+            target = getattr(target, attr)
+        if not hasattr(target, path[-1]):
+            raise ValueError(f"invalid parameter {key!r}: no attribute {path[-1]!r}")
+        setattr(target, path[-1], value)
+
+    def clone(self) -> "HTEEstimator":
+        """A fresh unfitted estimator with identical parameters."""
+        params = self.get_params(deep=False)
+        params["config"] = copy.deepcopy(params["config"])
+        return type(self)(**params)
+
+    # ------------------------------------------------------------------ #
+    # Fitting
     # ------------------------------------------------------------------ #
     def fit(
         self, train: CausalDataset, validation: Optional[CausalDataset] = None
@@ -115,6 +222,34 @@ class HTEEstimator:
             raise RuntimeError("the estimator must be fit before use")
         return self.trainer
 
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> str:
+        """Persist the fitted estimator as a versioned artifact directory.
+
+        The artifact holds a JSON manifest (configuration, names, format
+        version) plus an ``.npz`` file with the backbone parameters,
+        standardisation statistics and learned sample weights.  Reload with
+        :meth:`HTEEstimator.load`.
+        """
+        from ..persistence import save_estimator
+
+        return save_estimator(self, path)
+
+    @classmethod
+    def load(cls, path) -> "HTEEstimator":
+        """Reload an estimator saved with :meth:`save`; ready to predict.
+
+        Called on a subclass, the artifact is rebuilt as that subclass.
+        """
+        from ..persistence import load_estimator
+
+        return load_estimator(path, estimator_cls=cls)
+
+    # ------------------------------------------------------------------ #
+    # Inference / evaluation
+    # ------------------------------------------------------------------ #
     def predict_potential_outcomes(self, covariates: np.ndarray) -> Dict[str, np.ndarray]:
         """Return ``{"mu0", "mu1", "ite"}`` arrays for new units."""
         return self._require_fitted().predict(covariates)

@@ -1,5 +1,11 @@
-"""SBRL-HAP regularizers: balancing, independence and hierarchical attention."""
+"""SBRL-HAP regularizers: balancing, independence and hierarchical attention.
 
+The concrete regularizers are registered into the unified component registry
+(:data:`repro.registry.regularizers`) so that diagnostic tooling and custom
+weight objectives can resolve them by name.
+"""
+
+from ...registry import regularizers as REGULARIZER_REGISTRY
 from .balancing import BalancingRegularizer
 from .hierarchical import HierarchicalAttentionLoss, WeightLossBreakdown
 from .independence import IndependenceRegularizer
@@ -9,4 +15,25 @@ __all__ = [
     "IndependenceRegularizer",
     "HierarchicalAttentionLoss",
     "WeightLossBreakdown",
+    "REGULARIZER_REGISTRY",
 ]
+
+if "balancing" not in REGULARIZER_REGISTRY:  # guard against double registration
+    REGULARIZER_REGISTRY.register(
+        "balancing",
+        BalancingRegularizer,
+        aliases=("l_b",),
+        display_name="Balancing Regularizer (L_B)",
+    )
+    REGULARIZER_REGISTRY.register(
+        "independence",
+        IndependenceRegularizer,
+        aliases=("l_i",),
+        display_name="Independence Regularizer (L_I)",
+    )
+    REGULARIZER_REGISTRY.register(
+        "hierarchical",
+        HierarchicalAttentionLoss,
+        aliases=("hap", "l_w"),
+        display_name="Hierarchical Attention Loss (L_w)",
+    )

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -28,14 +28,90 @@ from ..data.dataset import CausalDataset
 from ..metrics.evaluation import EffectEstimates, evaluate_effect_predictions
 from ..nn.optim import Adam, ExponentialDecay
 from ..nn.tensor import Tensor, as_tensor, no_grad
+from ..registry import frameworks as FRAMEWORK_REGISTRY
 from .backbones.base import BackboneForward, BaseBackbone
 from .config import SBRLConfig
 from .regularizers.hierarchical import HierarchicalAttentionLoss
 from .weights import SampleWeights
 
-__all__ = ["SBRLTrainer", "TrainingHistory", "FRAMEWORKS"]
+__all__ = ["SBRLTrainer", "TrainingHistory", "FrameworkSpec", "FRAMEWORKS", "FRAMEWORK_REGISTRY"]
 
-FRAMEWORKS = ("vanilla", "sbrl", "sbrl-hap")
+
+@dataclass(frozen=True)
+class FrameworkSpec:
+    """Description of one framework variant.
+
+    ``weight_objective_factory`` builds the objective optimised over the
+    sample weights; it receives the trainer's :class:`SBRLConfig` and the
+    three ablation switches and returns a callable
+    ``(forward, treatment, weights) -> Tensor`` (or ``None`` for frameworks
+    without learned weights).  Custom frameworks can be plugged in by
+    registering a spec into :data:`repro.registry.frameworks`.
+    """
+
+    name: str
+    display_name: str
+    uses_weights: bool
+    weight_objective_factory: Optional[
+        Callable[[SBRLConfig, bool, bool, bool], object]
+    ] = None
+
+    def build_weight_objective(
+        self,
+        config: SBRLConfig,
+        use_balance: bool = True,
+        use_independence: bool = True,
+        use_hierarchy: bool = True,
+    ):
+        if not self.uses_weights or self.weight_objective_factory is None:
+            return None
+        return self.weight_objective_factory(config, use_balance, use_independence, use_hierarchy)
+
+
+def _hap_objective_factory(mode: str):
+    def factory(config: SBRLConfig, use_balance: bool, use_independence: bool, use_hierarchy: bool):
+        return HierarchicalAttentionLoss(
+            config=config.regularizers,
+            mode=mode,
+            use_balance=use_balance,
+            use_independence=use_independence,
+            use_hierarchy=use_hierarchy,
+            seed=config.training.seed,
+        )
+
+    return factory
+
+
+if "vanilla" not in FRAMEWORK_REGISTRY:  # guard against double registration on re-import
+    FRAMEWORK_REGISTRY.register(
+        "vanilla",
+        FrameworkSpec(name="vanilla", display_name="vanilla", uses_weights=False),
+        display_name="vanilla",
+    )
+    FRAMEWORK_REGISTRY.register(
+        "sbrl",
+        FrameworkSpec(
+            name="sbrl",
+            display_name="SBRL",
+            uses_weights=True,
+            weight_objective_factory=_hap_objective_factory("sbrl"),
+        ),
+        display_name="SBRL",
+    )
+    FRAMEWORK_REGISTRY.register(
+        "sbrl-hap",
+        FrameworkSpec(
+            name="sbrl-hap",
+            display_name="SBRL-HAP",
+            uses_weights=True,
+            weight_objective_factory=_hap_objective_factory("sbrl-hap"),
+        ),
+        display_name="SBRL-HAP",
+    )
+
+#: Built-in framework names, in registration order (kept as a tuple for
+#: backwards compatibility; the registry is the source of truth).
+FRAMEWORKS = tuple(FRAMEWORK_REGISTRY.names())
 
 
 @dataclass
@@ -70,29 +146,22 @@ class SBRLTrainer:
         use_independence: bool = True,
         use_hierarchy: bool = True,
     ) -> None:
-        framework = framework.lower()
-        if framework not in FRAMEWORKS:
-            raise ValueError(f"framework must be one of {FRAMEWORKS}")
+        spec: FrameworkSpec = FRAMEWORK_REGISTRY.get(framework)
         self.backbone = backbone
-        self.framework = framework
+        self.framework = spec.name
+        self.framework_spec = spec
         self.config = config if config is not None else SBRLConfig()
         self.history = TrainingHistory()
         self.sample_weights: Optional[SampleWeights] = None
         self._standardize_mean: Optional[np.ndarray] = None
         self._standardize_std: Optional[np.ndarray] = None
 
-        if framework == "vanilla":
-            self.weight_objective = None
-        else:
-            mode = "sbrl" if framework == "sbrl" else "sbrl-hap"
-            self.weight_objective = HierarchicalAttentionLoss(
-                config=self.config.regularizers,
-                mode=mode,
-                use_balance=use_balance,
-                use_independence=use_independence,
-                use_hierarchy=use_hierarchy,
-                seed=self.config.training.seed,
-            )
+        self.weight_objective = spec.build_weight_objective(
+            self.config,
+            use_balance=use_balance,
+            use_independence=use_independence,
+            use_hierarchy=use_hierarchy,
+        )
 
     # ------------------------------------------------------------------ #
     # Training
@@ -119,7 +188,7 @@ class SBRLTrainer:
         schedule = ExponentialDecay(cfg.learning_rate, cfg.lr_decay_rate, cfg.lr_decay_steps)
         optimizer = Adam(self.backbone.parameters(), schedule=schedule)
 
-        uses_weights = self.framework != "vanilla"
+        uses_weights = self.framework_spec.uses_weights and self.weight_objective is not None
         if uses_weights:
             self.sample_weights = SampleWeights(
                 num_samples=len(train_std),
@@ -213,6 +282,53 @@ class SBRLTrainer:
     # ------------------------------------------------------------------ #
     # Inference / evaluation
     # ------------------------------------------------------------------ #
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has run (or state has been restored)."""
+        return self._standardize_mean is not None and self._standardize_std is not None
+
+    def inference_state(self) -> Dict[str, Optional[np.ndarray]]:
+        """Everything beyond the backbone parameters needed to predict.
+
+        Returns the covariate standardisation statistics and the learned
+        sample weights (``None`` for weight-free frameworks).  Used by the
+        persistence layer; the inverse is :meth:`restore_inference_state`.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("the trainer must be fit before exporting inference state")
+        return {
+            "standardize_mean": self._standardize_mean.copy(),
+            "standardize_std": self._standardize_std.copy(),
+            "sample_weights": (
+                self.sample_weights.numpy() if self.sample_weights is not None else None
+            ),
+        }
+
+    def restore_inference_state(
+        self,
+        standardize_mean: np.ndarray,
+        standardize_std: np.ndarray,
+        sample_weights: Optional[np.ndarray] = None,
+    ) -> None:
+        """Restore the state exported by :meth:`inference_state`.
+
+        After this call :attr:`is_fitted` is true and :meth:`predict` /
+        :meth:`evaluate` work without retraining (the backbone parameters
+        must be restored separately via ``backbone.load_state_dict``).
+        """
+        self._standardize_mean = np.asarray(standardize_mean, dtype=np.float64).copy()
+        self._standardize_std = np.asarray(standardize_std, dtype=np.float64).copy()
+        if sample_weights is not None:
+            cfg = self.config.training
+            self.sample_weights = SampleWeights(
+                num_samples=len(sample_weights),
+                learning_rate=cfg.weight_learning_rate,
+                clip=cfg.weight_clip,
+            )
+            self.sample_weights.values.data = np.asarray(
+                sample_weights, dtype=np.float64
+            ).copy()
+
     def _transform(self, covariates: np.ndarray) -> np.ndarray:
         if self._standardize_mean is None or self._standardize_std is None:
             raise RuntimeError("the trainer must be fit before prediction")

@@ -1,19 +1,32 @@
-"""Dataset registry: build any benchmark dataset by name.
+"""Benchmark dataset registry: build any benchmark dataset by name.
 
 Provides a single entry point (:func:`load_benchmark`) used by the examples
 and the experiment harness so that a benchmark can be selected with a string
 such as ``"syn_8_8_8_2"``, ``"syn_16_16_16_2"``, ``"twins"`` or ``"ihdp"``.
+
+Benchmarks live in the unified component registry
+(:data:`repro.registry.benchmarks`); user code can plug in new ones without
+editing this module::
+
+    from repro.registry import benchmarks
+
+    @benchmarks.register("mydata", metadata={"default_size": 1000})
+    def _build_mydata(num_samples, seed):
+        return {"train": ..., "test_environments": {...}}
+
+    load_benchmark("mydata")   # just works
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Optional
 
+from ..registry import benchmarks as BENCHMARK_REGISTRY
 from .ihdp import IHDPConfig, IHDPSimulator
 from .synthetic import SyntheticConfig, SyntheticGenerator
 from .twins import TwinsConfig, TwinsSimulator
 
-__all__ = ["available_benchmarks", "load_benchmark"]
+__all__ = ["available_benchmarks", "load_benchmark", "BENCHMARK_REGISTRY"]
 
 
 def _build_synthetic(dims, num_samples: int, seed: int):
@@ -48,24 +61,36 @@ def _build_ihdp(num_samples: int, seed: int):
     }
 
 
-_REGISTRY: Dict[str, Callable[[int, int], dict]] = {
-    "syn_8_8_8_2": lambda n, seed: _build_synthetic((8, 8, 8, 2), n, seed),
-    "syn_16_16_16_2": lambda n, seed: _build_synthetic((16, 16, 16, 2), n, seed),
-    "twins": _build_twins,
-    "ihdp": _build_ihdp,
-}
-
-_DEFAULT_SIZES: Dict[str, int] = {
-    "syn_8_8_8_2": 10000,
-    "syn_16_16_16_2": 10000,
-    "twins": 5271,
-    "ihdp": 747,
-}
+if "twins" not in BENCHMARK_REGISTRY:  # guard against double registration
+    BENCHMARK_REGISTRY.register(
+        "syn_8_8_8_2",
+        lambda n, seed: _build_synthetic((8, 8, 8, 2), n, seed),
+        display_name="Syn_8_8_8_2",
+        metadata={"default_size": 10000, "binary_outcome": True},
+    )
+    BENCHMARK_REGISTRY.register(
+        "syn_16_16_16_2",
+        lambda n, seed: _build_synthetic((16, 16, 16, 2), n, seed),
+        display_name="Syn_16_16_16_2",
+        metadata={"default_size": 10000, "binary_outcome": True},
+    )
+    BENCHMARK_REGISTRY.register(
+        "twins",
+        _build_twins,
+        display_name="Twins",
+        metadata={"default_size": 5271, "binary_outcome": True},
+    )
+    BENCHMARK_REGISTRY.register(
+        "ihdp",
+        _build_ihdp,
+        display_name="IHDP",
+        metadata={"default_size": 747, "binary_outcome": False},
+    )
 
 
 def available_benchmarks() -> list:
     """Names accepted by :func:`load_benchmark`."""
-    return sorted(_REGISTRY)
+    return sorted(BENCHMARK_REGISTRY.names())
 
 
 def load_benchmark(name: str, num_samples: Optional[int] = None, seed: int = 2024) -> dict:
@@ -75,8 +100,6 @@ def load_benchmark(name: str, num_samples: Optional[int] = None, seed: int = 202
     ``"test_environments"`` mapping (and, for the real-world benchmarks, a
     ``"validation"`` dataset).
     """
-    key = name.lower()
-    if key not in _REGISTRY:
-        raise ValueError(f"unknown benchmark {name!r}; available: {available_benchmarks()}")
-    size = num_samples if num_samples is not None else _DEFAULT_SIZES[key]
-    return _REGISTRY[key](size, seed)
+    entry = BENCHMARK_REGISTRY.entry(name)
+    size = num_samples if num_samples is not None else entry.metadata.get("default_size", 1000)
+    return entry.obj(size, seed)

@@ -1,0 +1,246 @@
+"""Unified component registry for every pluggable piece of the library.
+
+One generic :class:`Registry` class backs four global registries —
+:data:`backbones`, :data:`frameworks`, :data:`regularizers` and
+:data:`benchmarks` — so that user code can extend the library without
+editing ``repro`` internals::
+
+    from repro import registry
+    from repro.core.backbones import BaseBackbone
+
+    @registry.backbones.register("mynet", aliases=("my-net",), display_name="MyNet")
+    class MyNet(BaseBackbone):
+        ...
+
+    HTEEstimator(backbone="mynet").fit(train)   # just works
+
+Each entry carries the registered object plus presentation metadata
+(``display_name``, free-form ``metadata``) and an optional set of aliases.
+Lookups are case-insensitive and resolve aliases to the canonical name;
+unknown names raise :class:`UnknownComponentError` (a ``ValueError`` and
+``KeyError`` subclass, for compatibility with both historical behaviours)
+listing what *is* available and suggesting near-misses.
+
+The registry intentionally knows nothing about what it stores: backbones
+register classes, benchmarks register builder callables, frameworks register
+:class:`~repro.core.sbrl.FrameworkSpec` instances.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Registry",
+    "RegistryEntry",
+    "UnknownComponentError",
+    "DuplicateComponentError",
+    "backbones",
+    "frameworks",
+    "regularizers",
+    "benchmarks",
+]
+
+
+class UnknownComponentError(ValueError, KeyError):
+    """Raised when a name resolves to no registered component.
+
+    Subclasses both ``ValueError`` (the error the factory helpers have always
+    raised) and ``KeyError`` (the error raw dict lookups used to raise) so
+    pre-registry exception handling keeps working.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr() the message otherwise
+        return self.args[0] if self.args else ""
+
+
+class DuplicateComponentError(ValueError):
+    """Raised when a name or alias collides with an existing registration."""
+
+
+@dataclass
+class RegistryEntry:
+    """One registered component and its metadata."""
+
+    name: str
+    obj: Any
+    aliases: Tuple[str, ...] = ()
+    display_name: Optional[str] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        """Human-readable name (falls back to the canonical name)."""
+        return self.display_name if self.display_name is not None else self.name
+
+
+class Registry:
+    """A named collection of components with alias support.
+
+    Supports three registration styles::
+
+        reg.register("name", obj)                       # direct
+        reg.register("name")(obj)                       # decorator
+        @reg.register("name", aliases=("n",))           # decorator with options
+        class Obj: ...
+
+    The mapping protocol (``in``, ``len``, iteration, ``[...]``) treats
+    aliases as first-class keys, mirroring the plain dicts the registry
+    replaced.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, RegistryEntry] = {}
+        self._aliases: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(
+        self,
+        name: str,
+        obj: Any = None,
+        *,
+        aliases: Sequence[str] = (),
+        display_name: Optional[str] = None,
+        metadata: Optional[Mapping[str, Any]] = None,
+        overwrite: bool = False,
+    ):
+        """Register ``obj`` under ``name``; usable directly or as a decorator."""
+        key = self._normalize(name)
+        alias_keys = tuple(self._normalize(alias) for alias in aliases)
+
+        def _do_register(target: Any) -> Any:
+            if not overwrite:
+                for candidate in (key, *alias_keys):
+                    if candidate in self._entries or candidate in self._aliases:
+                        raise DuplicateComponentError(
+                            f"{self.kind} {candidate!r} is already registered; "
+                            f"pass overwrite=True to replace it"
+                        )
+            else:
+                self._discard(key)
+                for alias in alias_keys:
+                    self._discard(alias)
+            entry = RegistryEntry(
+                name=key,
+                obj=target,
+                aliases=alias_keys,
+                display_name=display_name,
+                metadata=dict(metadata) if metadata is not None else {},
+            )
+            self._entries[key] = entry
+            for alias in alias_keys:
+                self._aliases[alias] = key
+            return target
+
+        if obj is None:
+            return _do_register
+        return _do_register(obj)
+
+    def unregister(self, name: str) -> None:
+        """Remove a component (and its aliases); unknown names raise."""
+        entry = self.entry(name)
+        del self._entries[entry.name]
+        for alias in entry.aliases:
+            self._aliases.pop(alias, None)
+
+    def _discard(self, key: str) -> None:
+        canonical = self._aliases.get(key, key)
+        entry = self._entries.pop(canonical, None)
+        if entry is not None:
+            for alias in entry.aliases:
+                self._aliases.pop(alias, None)
+        self._aliases.pop(key, None)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _normalize(name: str) -> str:
+        return str(name).strip().lower()
+
+    def resolve(self, name: str) -> str:
+        """Return the canonical name for ``name`` (which may be an alias)."""
+        key = self._normalize(name)
+        if key in self._entries:
+            return key
+        if key in self._aliases:
+            return self._aliases[key]
+        raise UnknownComponentError(self._unknown_message(key))
+
+    def entry(self, name: str) -> RegistryEntry:
+        """Full :class:`RegistryEntry` for a name or alias."""
+        return self._entries[self.resolve(name)]
+
+    def get(self, name: str) -> Any:
+        """The registered object for a name or alias."""
+        return self.entry(name).obj
+
+    def create(self, name: str, *args, **kwargs) -> Any:
+        """Call the registered object (class or factory) with the given args."""
+        return self.get(name)(*args, **kwargs)
+
+    def display_name(self, name: str) -> str:
+        """Human-readable label for a name or alias."""
+        return self.entry(name).label
+
+    def metadata(self, name: str) -> Dict[str, Any]:
+        """Metadata dict attached at registration time."""
+        return self.entry(name).metadata
+
+    def _unknown_message(self, key: str) -> str:
+        available = sorted(set(self._entries) | set(self._aliases))
+        message = f"unknown {self.kind} {key!r}; available: {available}"
+        suggestions = difflib.get_close_matches(key, available, n=3)
+        if suggestions:
+            message += f" (did you mean {', '.join(repr(s) for s in suggestions)}?)"
+        return message
+
+    # ------------------------------------------------------------------ #
+    # Mapping protocol (aliases included, like the dicts this replaces)
+    # ------------------------------------------------------------------ #
+    def names(self) -> List[str]:
+        """Canonical names in registration order (aliases excluded)."""
+        return list(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        try:
+            self.resolve(str(name))
+        except UnknownComponentError:
+            return False
+        return True
+
+    def __getitem__(self, name: str) -> Any:
+        return self.get(name)
+
+    def __iter__(self) -> Iterator[str]:
+        yield from self._entries
+        yield from self._aliases
+
+    def __len__(self) -> int:
+        return len(self._entries) + len(self._aliases)
+
+    def items(self) -> Iterator[Tuple[str, Any]]:
+        """``(name, object)`` pairs for canonical names only."""
+        for name, entry in self._entries.items():
+            yield name, entry.obj
+
+    def __repr__(self) -> str:
+        return f"Registry(kind={self.kind!r}, names={self.names()!r})"
+
+
+#: Backbone classes (TARNet, CFR, DeR-CFR, custom user backbones).
+backbones = Registry("backbone")
+
+#: Framework variants (vanilla, SBRL, SBRL-HAP) as FrameworkSpec entries.
+frameworks = Registry("framework")
+
+#: Regularizer classes (balancing, independence, hierarchical attention).
+regularizers = Registry("regularizer")
+
+#: Benchmark dataset builders ``(num_samples, seed) -> protocol dict``.
+benchmarks = Registry("benchmark")

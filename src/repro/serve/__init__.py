@@ -1,0 +1,17 @@
+"""Serving subsystem: load saved estimators and answer prediction traffic.
+
+Quickstart::
+
+    from repro.serve import PredictionService
+
+    service = PredictionService.from_artifacts({"uplift": "artifacts/cfr-sbrl-hap"})
+    result = service.predict(covariate_rows, model="uplift")
+    batched = service.predict_many(list_of_requests, model="uplift")
+    print(service.stats("uplift"))
+"""
+
+from .cache import LRUCache
+from .service import PredictionService
+from .stats import ModelStats
+
+__all__ = ["PredictionService", "LRUCache", "ModelStats"]

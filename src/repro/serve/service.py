@@ -1,0 +1,276 @@
+"""Prediction serving on top of saved (or in-memory) estimators.
+
+:class:`PredictionService` holds one or more fitted
+:class:`~repro.core.estimator.HTEEstimator` instances and answers prediction
+requests without retraining:
+
+* **Microbatching** — :meth:`predict_many` fuses the rows of many small
+  requests into large forward passes (bounded by ``max_batch_size``), which
+  is dramatically faster than per-request calls because the backbone's cost
+  is dominated by per-call Python/NumPy overhead at small batch sizes.
+* **Row-level LRU caching** — results are memoised per covariate row
+  (keyed on a digest of the row bytes), so repeated units — common in
+  uplift-serving traffic — skip the network entirely.
+* **Counters** — per-model request/row/cache counters plus recent latency
+  percentiles, exposed via :meth:`stats`.
+
+The service is thread-safe: a single lock serialises cache and counter
+mutation (the numeric forward pass itself releases no GIL anyway in this
+pure-NumPy implementation).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.estimator import HTEEstimator
+from .cache import LRUCache
+from .stats import ModelStats
+
+__all__ = ["PredictionService"]
+
+ArrayLike = Union[np.ndarray, Sequence[Sequence[float]], Sequence[float]]
+
+
+def _as_matrix(covariates: ArrayLike) -> np.ndarray:
+    """Coerce one request payload to a contiguous float64 ``(n, d)`` matrix."""
+    matrix = np.ascontiguousarray(np.asarray(covariates, dtype=np.float64))
+    if matrix.ndim == 1:
+        matrix = matrix.reshape(1, -1)
+    if matrix.ndim != 2:
+        raise ValueError(f"covariates must be 1-D or 2-D, got shape {matrix.shape}")
+    return matrix
+
+
+def _row_digest(row: np.ndarray) -> bytes:
+    """Stable digest of one covariate row (the cache key payload)."""
+    return hashlib.blake2b(row.tobytes(), digest_size=16).digest()
+
+
+class PredictionService:
+    """Serve predictions from one or more fitted estimators.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Upper bound on the number of rows per fused forward pass.
+    cache_size:
+        Capacity of the per-model row-result LRU cache (0 disables caching).
+    latency_window:
+        Number of recent request latencies kept for percentile reporting.
+    """
+
+    def __init__(
+        self,
+        max_batch_size: int = 2048,
+        cache_size: int = 8192,
+        latency_window: int = 1024,
+    ) -> None:
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        self.max_batch_size = max_batch_size
+        self.cache_size = cache_size
+        self.latency_window = latency_window
+        self._models: Dict[str, HTEEstimator] = {}
+        self._caches: Dict[str, LRUCache] = {}
+        self._stats: Dict[str, ModelStats] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Model management
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_artifacts(cls, artifacts: Mapping[str, object], **kwargs) -> "PredictionService":
+        """Build a service from ``{model_name: artifact_path}`` mappings."""
+        service = cls(**kwargs)
+        for name, path in artifacts.items():
+            service.load_model(name, path)
+        return service
+
+    def register_model(self, name: str, estimator: HTEEstimator) -> str:
+        """Add a fitted in-memory estimator under ``name``."""
+        if not isinstance(estimator, HTEEstimator):
+            raise TypeError(f"expected an HTEEstimator, got {type(estimator).__name__}")
+        if not estimator.is_fitted:
+            raise ValueError(f"model {name!r} is not fitted; fit or load it first")
+        with self._lock:
+            self._models[name] = estimator
+            self._caches[name] = LRUCache(self.cache_size)
+            self._stats[name] = ModelStats(window=self.latency_window)
+        return name
+
+    def load_model(self, name: str, path) -> str:
+        """Load a saved artifact (see :meth:`HTEEstimator.save`) as ``name``."""
+        return self.register_model(name, HTEEstimator.load(path))
+
+    def unload_model(self, name: str) -> None:
+        with self._lock:
+            self._require_model(name)
+            del self._models[name]
+            del self._caches[name]
+            del self._stats[name]
+
+    @property
+    def model_names(self) -> List[str]:
+        return list(self._models)
+
+    def model(self, name: str) -> HTEEstimator:
+        return self._require_model(name)
+
+    def _require_model(self, name: Optional[str]) -> HTEEstimator:
+        if name is None:
+            if len(self._models) == 1:
+                return next(iter(self._models.values()))
+            raise ValueError(
+                f"model name required when serving {len(self._models)} models; "
+                f"available: {self.model_names}"
+            )
+        try:
+            return self._models[name]
+        except KeyError:
+            raise ValueError(f"unknown model {name!r}; available: {self.model_names}") from None
+
+    def _model_context(
+        self, name: Optional[str]
+    ) -> Tuple[HTEEstimator, LRUCache, ModelStats]:
+        """Snapshot one model's estimator/cache/stats under the lock.
+
+        Requests keep these references for their whole lifetime, so a
+        concurrent ``unload_model`` / ``reset_stats`` cannot crash an
+        in-flight request — the old cache and counters simply become
+        unreachable once the last in-flight request drops them.
+        """
+        with self._lock:
+            estimator = self._require_model(name)
+            if name is None:
+                name = next(key for key, value in self._models.items() if value is estimator)
+            return estimator, self._caches[name], self._stats[name]
+
+    # ------------------------------------------------------------------ #
+    # Prediction
+    # ------------------------------------------------------------------ #
+    def predict(self, covariates: ArrayLike, model: Optional[str] = None) -> Dict[str, np.ndarray]:
+        """Predict ``{"mu0", "mu1", "ite"}`` for one block of covariates."""
+        estimator, cache, stats = self._model_context(model)
+        matrix = _as_matrix(covariates)
+        start = time.perf_counter()
+        result, hits, misses, batches = self._predict_cached(estimator, cache, matrix)
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            stats.record(
+                rows=len(matrix),
+                seconds=elapsed,
+                batches=batches,
+                cache_hits=hits,
+                cache_misses=misses,
+            )
+        return result
+
+    def predict_ite(self, covariates: ArrayLike, model: Optional[str] = None) -> np.ndarray:
+        """Convenience wrapper returning only the ITE column."""
+        return self.predict(covariates, model=model)["ite"]
+
+    def predict_many(
+        self, requests: Iterable[ArrayLike], model: Optional[str] = None
+    ) -> List[Dict[str, np.ndarray]]:
+        """Answer many requests with fused (microbatched) forward passes.
+
+        All rows from all requests are gathered into one matrix, predicted in
+        ``max_batch_size`` chunks, and scattered back, so the per-call
+        overhead is paid once per *chunk* instead of once per *request*.
+        Results are returned in request order, each with the same keys as
+        :meth:`predict`.
+        """
+        estimator, cache, stats = self._model_context(model)
+        matrices = [_as_matrix(request) for request in requests]
+        if not matrices:
+            return []
+        widths = {matrix.shape[1] for matrix in matrices}
+        if len(widths) > 1:
+            raise ValueError(f"requests disagree on feature dimension: {sorted(widths)}")
+
+        start = time.perf_counter()
+        fused = np.concatenate(matrices, axis=0) if len(matrices) > 1 else matrices[0]
+        fused_result, hits, misses, batches = self._predict_cached(estimator, cache, fused)
+        elapsed = time.perf_counter() - start
+
+        results: List[Dict[str, np.ndarray]] = []
+        offset = 0
+        for matrix in matrices:
+            end = offset + len(matrix)
+            results.append({key: value[offset:end] for key, value in fused_result.items()})
+            offset = end
+
+        with self._lock:
+            stats.record(
+                rows=len(fused),
+                seconds=elapsed,
+                requests=len(matrices),
+                batches=batches,
+                cache_hits=hits,
+                cache_misses=misses,
+            )
+        return results
+
+    def _predict_cached(
+        self, estimator: HTEEstimator, cache: LRUCache, matrix: np.ndarray
+    ) -> Tuple[Dict[str, np.ndarray], int, int, int]:
+        """Row-cached, chunked prediction for one fused matrix.
+
+        Returns ``(result, cache_hits, cache_misses, forward_batches)``.
+        """
+        n = len(matrix)
+        mu0 = np.empty(n, dtype=np.float64)
+        mu1 = np.empty(n, dtype=np.float64)
+
+        # Hash outside the lock — digesting thousands of rows is pure CPU
+        # work that must not serialise concurrent requests on other models.
+        digests = [_row_digest(matrix[index]) for index in range(n)]
+        miss_indices: List[int] = []
+        with self._lock:
+            for index, digest in enumerate(digests):
+                cached = cache.get(digest)
+                if cached is None:
+                    miss_indices.append(index)
+                else:
+                    mu0[index], mu1[index] = cached
+        hits = n - len(miss_indices)
+
+        batches = 0
+        if miss_indices:
+            miss_matrix = matrix[miss_indices]
+            for chunk_start in range(0, len(miss_matrix), self.max_batch_size):
+                chunk = miss_matrix[chunk_start : chunk_start + self.max_batch_size]
+                outputs = estimator.predict_potential_outcomes(chunk)
+                batches += 1
+                rows = miss_indices[chunk_start : chunk_start + len(chunk)]
+                mu0[rows] = outputs["mu0"]
+                mu1[rows] = outputs["mu1"]
+            with self._lock:
+                for index in miss_indices:
+                    cache.put(digests[index], (mu0[index], mu1[index]))
+
+        return {"mu0": mu0, "mu1": mu1, "ite": mu1 - mu0}, hits, len(miss_indices), batches
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self, model: Optional[str] = None) -> Dict[str, Dict[str, float]]:
+        """Per-model counter summaries (all models, or just one)."""
+        with self._lock:
+            if model is not None:
+                self._require_model(model)
+                return {model: self._stats[model].summary()}
+            return {name: stats.summary() for name, stats in self._stats.items()}
+
+    def reset_stats(self) -> None:
+        """Zero every counter and empty every cache."""
+        with self._lock:
+            for name in self._models:
+                self._caches[name] = LRUCache(self.cache_size)
+                self._stats[name] = ModelStats(window=self.latency_window)

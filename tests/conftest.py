@@ -10,6 +10,10 @@ from repro.data.dataset import CausalDataset
 from repro.data.synthetic import SyntheticConfig, SyntheticGenerator
 
 
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running end-to-end tests")
+
+
 @pytest.fixture(scope="session")
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

@@ -44,6 +44,49 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "Table II" in output
 
+    def test_save_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["save"])
+
+    def test_predict_requires_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["predict"])
+
+    def test_serve_bench_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.model is None and args.rows == 2000
+
+    @pytest.mark.slow
+    def test_save_predict_serve_bench_pipeline(self, capsys, tmp_path):
+        artifact = str(tmp_path / "model")
+        assert main([
+            "save", "--output", artifact, "--benchmark", "syn_8_8_8_2",
+            "--num-samples", "300", "--scale", "smoke", "--seed", "1",
+        ]) == 0
+        assert "saved to" in capsys.readouterr().out
+
+        assert main([
+            "predict", "--model", artifact, "--benchmark", "syn_8_8_8_2",
+            "--num-samples", "200", "--seed", "2",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "predicted ATE" in output
+
+        out_csv = str(tmp_path / "predictions.csv")
+        assert main([
+            "predict", "--model", artifact, "--benchmark", "syn_8_8_8_2",
+            "--num-samples", "200", "--seed", "2", "--output", out_csv,
+        ]) == 0
+        header = open(out_csv).readline().strip()
+        assert header == "mu0,mu1,ite"
+
+        assert main([
+            "serve-bench", "--model", artifact, "--rows", "400", "--requests", "40",
+            "--seed", "3",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "microbatched predict_many" in output
+
     @pytest.mark.slow
     def test_quickstart_smoke(self, capsys):
         assert main(

@@ -13,12 +13,14 @@ class TestConstruction:
         with pytest.raises(ValueError):
             HTEEstimator(framework="nope")
 
-    def test_invalid_backbone_surfaces_at_fit(self, fast_config, small_train):
-        estimator = HTEEstimator(backbone="unknown", config=fast_config)
-        with pytest.raises(KeyError):
-            _ = estimator.name
-        with pytest.raises(ValueError):
-            estimator.fit(small_train)
+    def test_invalid_backbone_rejected_at_construction(self, fast_config):
+        with pytest.raises(ValueError, match="unknown backbone"):
+            HTEEstimator(backbone="unknown", config=fast_config)
+
+    def test_backbone_alias_resolves(self, fast_config):
+        estimator = HTEEstimator(backbone="der-cfr", config=fast_config)
+        assert estimator.backbone_name == "dercfr"
+        assert estimator.name == "DeR-CFR+SBRL-HAP"
 
     def test_name_composition(self, fast_config):
         assert HTEEstimator(backbone="cfr", framework="vanilla", config=fast_config).name == "CFR"

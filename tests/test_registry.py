@@ -1,0 +1,144 @@
+"""Unit tests for the unified component registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import registry
+from repro.core.backbones import BACKBONE_REGISTRY, build_backbone
+from repro.core.backbones.tarnet import TARNet
+from repro.core.estimator import HTEEstimator
+from repro.registry import (
+    DuplicateComponentError,
+    Registry,
+    UnknownComponentError,
+    backbones,
+    benchmarks,
+    frameworks,
+    regularizers,
+)
+
+
+class TestRegistryClass:
+    def test_register_direct_and_lookup(self):
+        reg = Registry("thing")
+        reg.register("alpha", object)
+        assert "alpha" in reg
+        assert reg.get("alpha") is object
+
+    def test_register_as_decorator(self):
+        reg = Registry("thing")
+
+        @reg.register("beta", aliases=("b",), display_name="Beta")
+        class Beta:
+            pass
+
+        assert reg.get("beta") is Beta
+        assert reg.get("b") is Beta
+        assert reg.display_name("b") == "Beta"
+        assert reg.resolve("b") == "beta"
+
+    def test_lookup_is_case_insensitive(self):
+        reg = Registry("thing")
+        reg.register("Gamma", object)
+        assert reg.get("GAMMA") is object
+
+    def test_unknown_name_raises_with_suggestions(self):
+        reg = Registry("thing")
+        reg.register("tarnet", object)
+        with pytest.raises(UnknownComponentError, match="did you mean 'tarnet'"):
+            reg.get("tarnt")
+        # Compatible with both historical except clauses.
+        with pytest.raises(ValueError):
+            reg.get("nope")
+        with pytest.raises(KeyError):
+            reg.get("nope")
+
+    def test_duplicate_name_rejected(self):
+        reg = Registry("thing")
+        reg.register("x", object)
+        with pytest.raises(DuplicateComponentError):
+            reg.register("x", int)
+        with pytest.raises(DuplicateComponentError):
+            reg.register("y", int, aliases=("x",))
+        reg.register("x", int, overwrite=True)
+        assert reg.get("x") is int
+
+    def test_unregister_removes_aliases(self):
+        reg = Registry("thing")
+        reg.register("x", object, aliases=("ex",))
+        reg.unregister("ex")
+        assert "x" not in reg and "ex" not in reg
+
+    def test_mapping_protocol_includes_aliases(self):
+        reg = Registry("thing")
+        reg.register("x", object, aliases=("ex",))
+        assert set(reg) == {"x", "ex"}
+        assert len(reg) == 2
+        assert reg["ex"] is object
+        assert reg.names() == ["x"]
+
+    def test_create_calls_the_registered_factory(self):
+        reg = Registry("thing")
+        reg.register("pair", lambda a, b: (a, b))
+        assert reg.create("pair", 1, b=2) == (1, 2)
+
+    def test_metadata_round_trip(self):
+        reg = Registry("thing")
+        reg.register("x", object, metadata={"default_size": 7})
+        assert reg.metadata("x") == {"default_size": 7}
+
+
+class TestGlobalRegistries:
+    def test_builtin_components_registered(self):
+        assert {"tarnet", "cfr", "dercfr"} <= set(backbones.names())
+        assert frameworks.names() == ["vanilla", "sbrl", "sbrl-hap"]
+        assert {"balancing", "independence", "hierarchical"} <= set(regularizers.names())
+        assert {"syn_8_8_8_2", "syn_16_16_16_2", "twins", "ihdp"} <= set(benchmarks.names())
+
+    def test_backbone_registry_alias_is_registry_object(self):
+        assert BACKBONE_REGISTRY is backbones
+        assert "der-cfr" in BACKBONE_REGISTRY
+
+    def test_registry_module_exposed_from_package(self):
+        assert registry.backbones is backbones
+
+    def test_framework_specs_carry_display_names(self):
+        assert frameworks.get("sbrl-hap").display_name == "SBRL-HAP"
+        assert not frameworks.get("vanilla").uses_weights
+
+
+class TestCustomBackbonePluggability:
+    def test_custom_backbone_trains_through_estimator(self, fast_config, small_train):
+        @backbones.register("slimnet", aliases=("slim",), display_name="SlimNet")
+        class SlimNet(TARNet):
+            name = "slimnet"
+
+        try:
+            estimator = HTEEstimator(backbone="slim", framework="vanilla", config=fast_config)
+            assert estimator.backbone_name == "slimnet"
+            assert estimator.name == "SlimNet"
+            estimator.fit(small_train)
+            ite = estimator.predict_ite(small_train.covariates)
+            assert ite.shape == (len(small_train),)
+            assert np.all(np.isfinite(ite))
+            built = build_backbone("slimnet", num_features=3)
+            assert isinstance(built, SlimNet)
+        finally:
+            backbones.unregister("slimnet")
+        assert "slimnet" not in backbones
+
+    def test_custom_benchmark_loadable_by_name(self, small_protocol):
+        @benchmarks.register("tiny-fixture", metadata={"default_size": 250})
+        def _build(num_samples, seed):
+            return small_protocol
+
+        try:
+            from repro.data.loaders import available_benchmarks, load_benchmark
+
+            assert "tiny-fixture" in available_benchmarks()
+            protocol = load_benchmark("tiny-fixture")
+            assert len(protocol["train"]) == 250
+        finally:
+            benchmarks.unregister("tiny-fixture")

@@ -1,0 +1,192 @@
+"""Tests for the serving subsystem (PredictionService, cache, stats)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import BackboneConfig, SBRLConfig, TrainingConfig
+from repro.core.estimator import HTEEstimator
+from repro.serve import LRUCache, ModelStats, PredictionService
+
+
+@pytest.fixture(scope="module")
+def served_estimator(small_train):
+    config = SBRLConfig(
+        backbone=BackboneConfig(rep_layers=2, rep_units=12, head_layers=2, head_units=8),
+        training=TrainingConfig(
+            iterations=25,
+            learning_rate=1e-2,
+            evaluation_interval=10,
+            early_stopping_patience=None,
+            seed=0,
+        ),
+    )
+    return HTEEstimator(
+        backbone="cfr", framework="vanilla", config=config, seed=2
+    ).fit(small_train)
+
+
+@pytest.fixture()
+def service(served_estimator):
+    service = PredictionService(max_batch_size=256, cache_size=4096)
+    service.register_model("main", served_estimator)
+    return service
+
+
+class TestLRUCache:
+    def test_get_put_and_hit_counters(self):
+        cache = LRUCache(capacity=2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a"; "b" becomes the eviction candidate
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+
+    def test_zero_capacity_disables_caching(self):
+        cache = LRUCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+
+class TestModelStats:
+    def test_record_accumulates(self):
+        stats = ModelStats(window=8)
+        stats.record(rows=10, seconds=0.5, cache_hits=3, cache_misses=7)
+        stats.record(rows=10, seconds=0.5)
+        summary = stats.summary()
+        assert summary["requests"] == 2.0
+        assert summary["rows"] == 20.0
+        assert summary["throughput_rows_per_second"] == pytest.approx(20.0)
+        assert summary["cache_hit_rate"] == pytest.approx(0.3)
+        assert summary["latency_p50_seconds"] == pytest.approx(0.5)
+
+
+class TestPredictionService:
+    def test_rejects_unfitted_models(self, fast_config):
+        service = PredictionService()
+        with pytest.raises(ValueError, match="not fitted"):
+            service.register_model("raw", HTEEstimator(config=fast_config))
+
+    def test_predict_matches_estimator(self, service, served_estimator, small_ood):
+        result = service.predict(small_ood.covariates, model="main")
+        expected = served_estimator.predict_potential_outcomes(small_ood.covariates)
+        for key in ("mu0", "mu1", "ite"):
+            np.testing.assert_array_equal(result[key], expected[key])
+
+    def test_single_model_needs_no_name(self, service, small_ood):
+        ite = service.predict_ite(small_ood.covariates)
+        assert ite.shape == (len(small_ood),)
+
+    def test_unknown_model_raises(self, service, small_ood):
+        with pytest.raises(ValueError, match="unknown model"):
+            service.predict(small_ood.covariates, model="nope")
+
+    def test_one_dimensional_request_treated_as_single_row(self, service, small_ood):
+        result = service.predict(small_ood.covariates[0], model="main")
+        assert result["ite"].shape == (1,)
+
+    def test_predict_many_preserves_request_order_and_shapes(
+        self, service, served_estimator, small_ood
+    ):
+        requests = [
+            small_ood.covariates[0:3],
+            small_ood.covariates[10],          # single row, 1-D
+            small_ood.covariates[3:10],
+        ]
+        results = service.predict_many(requests, model="main")
+        assert [len(result["ite"]) for result in results] == [3, 1, 7]
+        expected = served_estimator.predict_ite(small_ood.covariates[0:3])
+        np.testing.assert_array_equal(results[0]["ite"], expected)
+        np.testing.assert_array_equal(
+            results[1]["ite"],
+            served_estimator.predict_ite(small_ood.covariates[10].reshape(1, -1)),
+        )
+
+    def test_predict_many_empty(self, service):
+        assert service.predict_many([], model="main") == []
+
+    def test_predict_many_rejects_mixed_widths(self, service):
+        with pytest.raises(ValueError, match="feature dimension"):
+            service.predict_many([np.zeros((2, 14)), np.zeros((2, 5))], model="main")
+
+    def test_cache_hits_on_repeated_rows(self, service, small_ood):
+        block = small_ood.covariates[:20]
+        service.predict(block, model="main")
+        service.predict(block, model="main")
+        stats = service.stats("main")["main"]
+        assert stats["cache_hits"] >= 20
+        assert stats["cache_hit_rate"] > 0
+
+    def test_cached_results_identical_to_fresh(self, service, served_estimator, small_ood):
+        block = small_ood.covariates[:20]
+        first = service.predict(block, model="main")
+        second = service.predict(block, model="main")
+        np.testing.assert_array_equal(first["ite"], second["ite"])
+        np.testing.assert_array_equal(
+            second["ite"], served_estimator.predict_ite(block)
+        )
+
+    def test_stats_reset(self, service, small_ood):
+        service.predict(small_ood.covariates, model="main")
+        service.reset_stats()
+        stats = service.stats("main")["main"]
+        assert stats["requests"] == 0.0 and stats["rows"] == 0.0
+
+    def test_from_artifacts_and_multi_model_routing(
+        self, served_estimator, fast_config, small_train, small_ood, tmp_path
+    ):
+        served_estimator.save(tmp_path / "a")
+        service = PredictionService.from_artifacts({"a": tmp_path / "a"})
+        other = HTEEstimator(
+            backbone="tarnet", framework="vanilla", config=fast_config, seed=5
+        ).fit(small_train)
+        service.register_model("b", other)
+        assert sorted(service.model_names) == ["a", "b"]
+        with pytest.raises(ValueError, match="model name required"):
+            service.predict(small_ood.covariates)
+        np.testing.assert_array_equal(
+            service.predict_ite(small_ood.covariates, model="a"),
+            served_estimator.predict_ite(small_ood.covariates),
+        )
+        service.unload_model("b")
+        assert service.model_names == ["a"]
+
+
+class TestMicrobatchingSpeedup:
+    def test_predict_many_faster_than_per_row_calls(self, served_estimator, rng):
+        """Acceptance criterion: fused serving beats per-row predict_ite on 1k+ rows."""
+        num_rows = 1200
+        covariates = rng.normal(size=(num_rows, served_estimator.trainer.backbone.num_features))
+
+        start = time.perf_counter()
+        per_row = np.concatenate(
+            [served_estimator.predict_ite(row.reshape(1, -1)) for row in covariates]
+        )
+        per_row_seconds = time.perf_counter() - start
+
+        service = PredictionService(cache_size=0)  # isolate the microbatching win
+        service.register_model("bench", served_estimator)
+        requests = np.array_split(covariates, 100)
+        start = time.perf_counter()
+        results = service.predict_many(requests, model="bench")
+        batched_seconds = time.perf_counter() - start
+
+        batched = np.concatenate([result["ite"] for result in results])
+        np.testing.assert_allclose(per_row, batched)
+        # Typically 30-100x; assert a conservative margin to stay robust on
+        # slow or noisy CI machines.
+        assert batched_seconds * 3 < per_row_seconds, (
+            f"microbatching not faster: {batched_seconds:.4f}s vs {per_row_seconds:.4f}s"
+        )
