@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Benchmark the minibatch training engine and parallel grid execution.
+
+Writes ``BENCH_training.json`` recording wall-clock and PEHE for
+
+* full-batch SBRL-HAP training (exact O(n²) RBF-MMD / HSIC regularizers),
+* minibatch training (stratified batches + anchor-subsampled regularizers),
+* the 3×3 method grid run serially and with ``n_jobs`` worker processes.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_training.py            # full run
+    PYTHONPATH=src python benchmarks/bench_training.py --smoke    # CI seconds-scale run
+
+Unlike the ``bench_table*`` / ``bench_fig*`` pytest benchmarks this is a
+plain script: it is executed in CI on every push and the JSON is uploaded
+as an artifact, so the performance trajectory is tracked per PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+# Allow running straight from a checkout without installation.
+_SRC = os.path.abspath(os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"))
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments.training_benchmark import (  # noqa: E402
+    benchmark_training,
+    format_benchmark,
+    write_benchmark,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="seconds-scale run for CI (tiny sizes)"
+    )
+    parser.add_argument("--num-samples", type=int, default=None, help="default: 4000 (600 with --smoke)")
+    parser.add_argument("--batch-size", type=int, default=None, help="default: 256 (128 with --smoke)")
+    parser.add_argument("--n-jobs", type=int, default=None, help="default: 4 (2 with --smoke)")
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument(
+        "--output",
+        default=os.path.join(os.path.dirname(_SRC), "BENCH_training.json"),
+        help="where to write the JSON record (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    result = benchmark_training(
+        smoke=args.smoke,
+        num_samples=args.num_samples,
+        batch_size=args.batch_size,
+        n_jobs=args.n_jobs,
+        seed=args.seed,
+    )
+    print(format_benchmark(result))
+    path = write_benchmark(result, args.output)
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

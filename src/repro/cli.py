@@ -117,6 +117,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--num-samples", type=int, default=600)
     bench.add_argument("--seed", type=int, default=2024)
 
+    train_bench = subparsers.add_parser(
+        "train-bench",
+        help="benchmark minibatch training and parallel grid execution",
+    )
+    train_bench.add_argument("--smoke", action="store_true", help="seconds-scale run")
+    train_bench.add_argument("--num-samples", type=int, default=None, help="default: 4000 (600 with --smoke)")
+    train_bench.add_argument("--batch-size", type=int, default=None, help="default: 256 (128 with --smoke)")
+    train_bench.add_argument("--n-jobs", type=int, default=None, help="default: 4 (2 with --smoke)")
+    train_bench.add_argument("--seed", type=int, default=2024)
+    train_bench.add_argument(
+        "--output", default=None, help="write the JSON record to this path"
+    )
+
     return parser
 
 
@@ -286,6 +299,26 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_train_bench(args: argparse.Namespace) -> int:
+    from .experiments.training_benchmark import (
+        benchmark_training,
+        format_benchmark,
+        write_benchmark,
+    )
+
+    result = benchmark_training(
+        smoke=args.smoke,
+        num_samples=args.num_samples,
+        batch_size=args.batch_size,
+        n_jobs=args.n_jobs,
+        seed=args.seed,
+    )
+    print(format_benchmark(result))
+    if args.output is not None:
+        print(f"wrote {write_benchmark(result, args.output)}")
+    return 0
+
+
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "list": _command_list,
     "run": _command_run,
@@ -294,6 +327,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "save": _command_save,
     "predict": _command_predict,
     "serve-bench": _command_serve_bench,
+    "train-bench": _command_train_bench,
 }
 
 

@@ -21,6 +21,15 @@ from .config import (
     paper_preset,
 )
 from .estimator import HTEEstimator
+from .loop import (
+    BestStateCheckpoint,
+    Callback,
+    EarlyStopping,
+    HistoryRecorder,
+    IterationRecord,
+    TrainingLoop,
+    VerboseLogger,
+)
 from .regularizers import (
     BalancingRegularizer,
     HierarchicalAttentionLoss,
@@ -34,6 +43,13 @@ __all__ = [
     "HTEEstimator",
     "SBRLTrainer",
     "TrainingHistory",
+    "TrainingLoop",
+    "Callback",
+    "IterationRecord",
+    "HistoryRecorder",
+    "VerboseLogger",
+    "BestStateCheckpoint",
+    "EarlyStopping",
     "FRAMEWORKS",
     "SampleWeights",
     "BalancingRegularizer",

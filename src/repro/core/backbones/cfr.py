@@ -15,6 +15,7 @@ from typing import Optional
 import numpy as np
 
 from ...metrics.ipm import weighted_ipm
+from ...metrics.subsampling import subsample_indices
 from ...nn.tensor import Tensor, as_tensor
 from .base import BackboneForward
 from .tarnet import TARNet
@@ -42,14 +43,22 @@ class CFR(TARNet):
         if treated_mask.sum() == 0 or control_mask.sum() == 0:
             # A batch with a single treatment arm carries no balance signal.
             return as_tensor(0.0)
+        treated_idx = np.where(treated_mask)[0]
+        control_idx = np.where(control_mask)[0]
+        threshold = self.regularizers.subsample_threshold
+        if threshold is not None and len(treatment) > threshold:
+            # Kernel IPMs are O(n²); above the threshold estimate the
+            # penalty on a seeded anchor draw from each arm instead.
+            treated_idx = self._balance_anchors(treated_idx)
+            control_idx = self._balance_anchors(control_idx)
         rep = forward.representation
-        rep_treated = rep[np.where(treated_mask)[0]]
-        rep_control = rep[np.where(control_mask)[0]]
+        rep_treated = rep[treated_idx]
+        rep_control = rep[control_idx]
         weights_treated = weights_control = None
         if sample_weights is not None:
             weights = as_tensor(sample_weights).reshape(-1)
-            weights_treated = weights[np.where(treated_mask)[0]]
-            weights_control = weights[np.where(control_mask)[0]]
+            weights_treated = weights[treated_idx]
+            weights_control = weights[control_idx]
         distance = weighted_ipm(
             rep_control,
             rep_treated,
@@ -58,3 +67,18 @@ class CFR(TARNet):
             kind=self.regularizers.ipm_kind,
         )
         return distance * alpha
+
+    def _balance_anchors(self, group_indices: np.ndarray) -> np.ndarray:
+        """Seeded draw of at most ``num_anchors`` indices from one arm.
+
+        The generator is created lazily with a fixed seed (deliberately not
+        ``self.rng``, which must be consumed only by weight initialisation
+        to keep parameter draws identical to the pre-engine code).  Training
+        calls ``network_loss`` in a fixed per-iteration sequence, so the
+        draws are reproducible run-to-run for a given call pattern.
+        """
+        rng = getattr(self, "_balance_rng", None)
+        if rng is None:
+            rng = self._balance_rng = np.random.default_rng(0)
+        keep = subsample_indices(len(group_indices), self.regularizers.num_anchors, rng)
+        return group_indices if keep is None else group_indices[keep]

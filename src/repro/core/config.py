@@ -76,6 +76,12 @@ class RegularizerConfig:
     ipm_kind: str = "mmd_linear"
     num_rff_features: int = 5
     max_pairs_per_layer: Optional[int] = 64
+    #: Above this many samples the training-time IPM / HSIC losses switch to
+    #: seeded anchor subsampling (``None`` disables; evaluation metrics
+    #: always use the exact estimators).
+    subsample_threshold: Optional[int] = 2048
+    #: Number of anchor rows the subsampled regularizers keep per group.
+    num_anchors: int = 256
 
     def __post_init__(self) -> None:
         for name in ("alpha", "gamma1", "gamma2", "gamma3", "lambda_l2"):
@@ -83,6 +89,10 @@ class RegularizerConfig:
                 raise ValueError(f"{name} must be non-negative")
         if self.num_rff_features <= 0:
             raise ValueError("num_rff_features must be positive")
+        if self.num_anchors <= 0:
+            raise ValueError("num_anchors must be positive")
+        if self.subsample_threshold is not None and self.subsample_threshold <= 0:
+            raise ValueError("subsample_threshold must be positive or None")
 
 
 @dataclass
@@ -101,6 +111,9 @@ class TrainingConfig:
     evaluation_interval: int = 10
     verbose: bool = False
     seed: int = 2024
+    #: ``None`` keeps the historical full-batch behaviour; a finite value
+    #: switches each iteration to one seeded, treatment-stratified minibatch.
+    batch_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.iterations <= 0:
@@ -111,6 +124,8 @@ class TrainingConfig:
             raise ValueError("weight_update_every must be positive")
         if self.weight_clip[0] < 0 or self.weight_clip[0] >= self.weight_clip[1]:
             raise ValueError("weight_clip must be an increasing pair of non-negative values")
+        if self.batch_size is not None and self.batch_size < 2:
+            raise ValueError("batch_size must be at least 2 (or None for full batch)")
 
 
 @dataclass

@@ -1,0 +1,211 @@
+"""Callback-driven minibatch training loop behind :class:`SBRLTrainer`.
+
+The loop owns the *mechanics* of Algorithm 1 — iterate, alternate the
+network and weight updates, evaluate on a cadence — while everything that
+used to be inlined in ``SBRLTrainer.fit`` (history recording, verbose
+logging, best-state checkpointing, early stopping) is a pluggable
+:class:`Callback`.  Users can pass extra callbacks to ``fit`` to observe or
+steer training without subclassing the trainer.
+
+Batching is delegated to a :class:`~repro.data.batching.DataLoader`: with
+``batch_size=None`` the loader yields the whole population once per
+iteration and the loop reproduces the historical full-batch behaviour
+exactly; with a finite batch size each iteration consumes one stratified
+minibatch and per-unit state (the sample-weight vector) is addressed
+through the batch's index array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..data.batching import DataLoader
+    from ..data.dataset import CausalDataset
+    from .sbrl import SBRLTrainer
+
+__all__ = [
+    "IterationRecord",
+    "Callback",
+    "HistoryRecorder",
+    "VerboseLogger",
+    "BestStateCheckpoint",
+    "EarlyStopping",
+    "TrainingLoop",
+]
+
+
+@dataclass
+class IterationRecord:
+    """Everything callbacks may need to know about one loop iteration."""
+
+    iteration: int
+    network_loss: float
+    weight_loss: float
+    batch_size: int
+    validation_loss: Optional[float] = None
+    improved: bool = False
+
+
+class Callback:
+    """Base class for training-loop observers; all hooks default to no-ops."""
+
+    def on_train_begin(self, loop: "TrainingLoop") -> None:
+        pass
+
+    def on_evaluation(self, loop: "TrainingLoop", record: IterationRecord) -> None:
+        """Called on the evaluation cadence, after ``validation_loss`` is set."""
+
+    def on_iteration_end(self, loop: "TrainingLoop", record: IterationRecord) -> None:
+        pass
+
+    def on_train_end(self, loop: "TrainingLoop") -> None:
+        pass
+
+
+class HistoryRecorder(Callback):
+    """Appends the scalar traces to the trainer's :class:`TrainingHistory`."""
+
+    def on_evaluation(self, loop: "TrainingLoop", record: IterationRecord) -> None:
+        history = loop.history
+        history.iterations.append(record.iteration)
+        history.network_loss.append(record.network_loss)
+        history.weight_loss.append(record.weight_loss)
+        history.validation_loss.append(record.validation_loss)
+
+
+class VerboseLogger(Callback):
+    """Prints one progress line per evaluation (the ``verbose=True`` output)."""
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+    def on_evaluation(self, loop: "TrainingLoop", record: IterationRecord) -> None:
+        print(
+            f"[{self.label}] iter={record.iteration:5d} "
+            f"loss={record.network_loss:.4f} val={record.validation_loss:.4f}"
+        )
+
+
+class BestStateCheckpoint(Callback):
+    """Tracks the best validation loss and restores that state at the end.
+
+    Marks ``record.improved`` so a downstream :class:`EarlyStopping` can
+    reset its patience; callback order therefore matters (checkpoint before
+    early stopping, which is how the default stack is assembled).
+    """
+
+    def __init__(self, margin: float = 1e-9) -> None:
+        self.margin = margin
+        self.best_loss = np.inf
+        self.best_state = None
+
+    def on_evaluation(self, loop: "TrainingLoop", record: IterationRecord) -> None:
+        if record.validation_loss is not None and record.validation_loss < self.best_loss - self.margin:
+            self.best_loss = record.validation_loss
+            self.best_state = loop.trainer.backbone.state_dict()
+            loop.history.best_iteration = record.iteration
+            record.improved = True
+
+    def on_train_end(self, loop: "TrainingLoop") -> None:
+        if self.best_state is not None:
+            loop.trainer.backbone.load_state_dict(self.best_state)
+
+
+class EarlyStopping(Callback):
+    """Stops training after ``patience`` evaluation-covered iterations without improvement.
+
+    Patience is counted in *iterations* (decremented by the evaluation
+    interval at each non-improving evaluation), matching the historical
+    semantics of ``TrainingConfig.early_stopping_patience``.
+    """
+
+    def __init__(self, patience: Optional[int], evaluation_interval: int) -> None:
+        self.patience = patience
+        self.evaluation_interval = evaluation_interval
+        self.patience_left = patience
+
+    def on_train_begin(self, loop: "TrainingLoop") -> None:
+        self.patience_left = self.patience
+
+    def on_evaluation(self, loop: "TrainingLoop", record: IterationRecord) -> None:
+        if record.improved:
+            self.patience_left = self.patience
+        elif self.patience is not None:
+            self.patience_left = (self.patience_left or 0) - self.evaluation_interval
+            if self.patience_left <= 0:
+                loop.request_stop()
+
+
+class TrainingLoop:
+    """Drives the alternating optimisation over batches from a loader."""
+
+    def __init__(
+        self,
+        trainer: "SBRLTrainer",
+        loader: "DataLoader",
+        validation: Optional["CausalDataset"] = None,
+        callbacks: Sequence[Callback] = (),
+    ) -> None:
+        self.trainer = trainer
+        self.config = trainer.config.training
+        self.loader = loader
+        self.validation = validation
+        self.callbacks: List[Callback] = list(callbacks)
+        self.history = trainer.history
+        self._stop = False
+
+    def request_stop(self) -> None:
+        """Ask the loop to stop after the current iteration (for callbacks)."""
+        self._stop = True
+
+    @property
+    def full_batch(self) -> bool:
+        return self.loader.sampler is None
+
+    def run(self):
+        """Execute the configured number of iterations; returns the history."""
+        cfg = self.config
+        trainer = self.trainer
+        batches = self.loader.cycle()
+        for callback in self.callbacks:
+            callback.on_train_begin(self)
+        for iteration in range(cfg.iterations):
+            batch = next(batches)
+            # In full-batch mode per-unit state is addressed globally (no
+            # index array), preserving the historical code path exactly.
+            indices = None if self.full_batch else batch.indices
+
+            network_loss = trainer._network_step(
+                batch.covariates, batch.treatment, batch.outcome, indices
+            )
+            weight_loss = float("nan")
+            if trainer.uses_weights and iteration % cfg.weight_update_every == 0:
+                weight_loss = trainer._update_weights(
+                    batch.covariates, batch.treatment, cfg, indices
+                )
+
+            record = IterationRecord(
+                iteration=iteration,
+                network_loss=network_loss,
+                weight_loss=weight_loss,
+                batch_size=len(batch),
+            )
+            if iteration % cfg.evaluation_interval == 0 or iteration == cfg.iterations - 1:
+                record.validation_loss = (
+                    trainer._evaluation_loss(self.validation)
+                    if self.validation is not None
+                    else network_loss
+                )
+                for callback in self.callbacks:
+                    callback.on_evaluation(self, record)
+            for callback in self.callbacks:
+                callback.on_iteration_end(self, record)
+            if self._stop:
+                break
+        for callback in self.callbacks:
+            callback.on_train_end(self)
+        return self.history

@@ -14,19 +14,38 @@ from typing import Optional
 import numpy as np
 
 from ...metrics.ipm import weighted_ipm
+from ...metrics.subsampling import subsample_indices
 from ...nn.tensor import Tensor, as_tensor
 
 __all__ = ["BalancingRegularizer"]
 
 
 class BalancingRegularizer:
-    """Weighted-IPM balance loss over a representation matrix."""
+    """Weighted-IPM balance loss over a representation matrix.
 
-    def __init__(self, kind: str = "mmd_linear", alpha: float = 1.0) -> None:
+    ``subsample_threshold`` / ``num_anchors`` enable seeded anchor
+    subsampling of each treatment group once the population exceeds the
+    threshold, bounding the O(n²) kernel IPMs at production sample sizes
+    (the exact evaluation metrics in :mod:`repro.metrics` are unaffected).
+    """
+
+    def __init__(
+        self,
+        kind: str = "mmd_linear",
+        alpha: float = 1.0,
+        subsample_threshold: Optional[int] = None,
+        num_anchors: int = 256,
+        seed: int = 0,
+    ) -> None:
         if alpha < 0:
             raise ValueError("alpha must be non-negative")
+        if num_anchors <= 0:
+            raise ValueError("num_anchors must be positive")
         self.kind = kind
         self.alpha = alpha
+        self.subsample_threshold = subsample_threshold
+        self.num_anchors = num_anchors
+        self._rng = np.random.default_rng(seed)
 
     def loss(
         self, representation: Tensor, treatment: np.ndarray, sample_weights: Tensor
@@ -39,6 +58,12 @@ class BalancingRegularizer:
         control_idx = np.where(treatment == 0.0)[0]
         if len(treated_idx) == 0 or len(control_idx) == 0:
             return as_tensor(0.0)
+        if (
+            self.subsample_threshold is not None
+            and len(treatment) > self.subsample_threshold
+        ):
+            treated_idx = self._anchors(treated_idx)
+            control_idx = self._anchors(control_idx)
         weights = as_tensor(sample_weights).reshape(-1)
         distance = weighted_ipm(
             representation[control_idx],
@@ -48,6 +73,11 @@ class BalancingRegularizer:
             kind=self.kind,
         )
         return distance * self.alpha
+
+    def _anchors(self, group_indices: np.ndarray) -> np.ndarray:
+        """Seeded draw of at most ``num_anchors`` indices from one group."""
+        keep = subsample_indices(len(group_indices), self.num_anchors, self._rng)
+        return group_indices if keep is None else group_indices[keep]
 
     def __call__(self, representation: Tensor, treatment: np.ndarray, sample_weights: Tensor) -> Tensor:
         return self.loss(representation, treatment, sample_weights)

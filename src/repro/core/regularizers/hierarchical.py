@@ -80,11 +80,19 @@ class HierarchicalAttentionLoss:
         self.use_balance = use_balance
         self.use_independence = use_independence
         self.use_hierarchy = use_hierarchy and mode == "sbrl-hap"
-        self.balancing = BalancingRegularizer(kind=self.config.ipm_kind, alpha=1.0)
+        self.balancing = BalancingRegularizer(
+            kind=self.config.ipm_kind,
+            alpha=1.0,
+            subsample_threshold=self.config.subsample_threshold,
+            num_anchors=self.config.num_anchors,
+            seed=seed,
+        )
         self.independence = IndependenceRegularizer(
             num_rff_features=self.config.num_rff_features,
             max_pairs=self.config.max_pairs_per_layer,
             seed=seed,
+            subsample_threshold=self.config.subsample_threshold,
+            num_anchors=self.config.num_anchors,
         )
         self.last_breakdown: Optional[WeightLossBreakdown] = None
 

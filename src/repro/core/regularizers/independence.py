@@ -18,27 +18,40 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ...metrics.hsic import RandomFourierFeatures, pairwise_decorrelation_loss
+from ...metrics.subsampling import subsample_indices
 from ...nn.tensor import Tensor, as_tensor
 
 __all__ = ["IndependenceRegularizer"]
 
 
 class IndependenceRegularizer:
-    """Weighted pairwise HSIC-RFF decorrelation loss for one layer family."""
+    """Weighted pairwise HSIC-RFF decorrelation loss for one layer family.
+
+    Above ``subsample_threshold`` rows the loss is computed on a seeded
+    draw of ``num_anchors`` rows (weights sliced identically), keeping the
+    per-iteration cost bounded on large populations.
+    """
 
     def __init__(
         self,
         num_rff_features: int = 5,
         max_pairs: Optional[int] = 64,
         seed: int = 0,
+        subsample_threshold: Optional[int] = None,
+        num_anchors: int = 256,
     ) -> None:
         if num_rff_features <= 0:
             raise ValueError("num_rff_features must be positive")
+        if num_anchors <= 0:
+            raise ValueError("num_anchors must be positive")
         self.num_rff_features = num_rff_features
         self.max_pairs = max_pairs
         self.seed = seed
+        self.subsample_threshold = subsample_threshold
+        self.num_anchors = num_anchors
         self._rng = np.random.default_rng(seed)
         self._pair_rng = np.random.default_rng(seed + 1)
+        self._row_rng = np.random.default_rng(seed + 2)
         self._feature_cache: Dict[str, List[RandomFourierFeatures]] = {}
 
     def _features_for(self, key: str, num_columns: int) -> List[RandomFourierFeatures]:
@@ -57,6 +70,11 @@ class IndependenceRegularizer:
         num_columns = layer.shape[1]
         if num_columns < 2:
             return as_tensor(0.0)
+        if self.subsample_threshold is not None and layer.shape[0] > self.subsample_threshold:
+            keep = subsample_indices(layer.shape[0], self.num_anchors, self._row_rng)
+            if keep is not None:
+                layer = layer[keep]
+                sample_weights = as_tensor(sample_weights).reshape(-1)[keep]
         features = self._features_for(key, num_columns)
         return pairwise_decorrelation_loss(
             layer,

@@ -18,12 +18,14 @@ Three framework variants are supported:
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..data.batching import DataLoader
 from ..data.dataset import CausalDataset
 from ..metrics.evaluation import EffectEstimates, evaluate_effect_predictions
 from ..nn.optim import Adam, ExponentialDecay
@@ -31,10 +33,24 @@ from ..nn.tensor import Tensor, as_tensor, no_grad
 from ..registry import frameworks as FRAMEWORK_REGISTRY
 from .backbones.base import BackboneForward, BaseBackbone
 from .config import SBRLConfig
+from .loop import (
+    BestStateCheckpoint,
+    Callback,
+    EarlyStopping,
+    HistoryRecorder,
+    TrainingLoop,
+    VerboseLogger,
+)
 from .regularizers.hierarchical import HierarchicalAttentionLoss
 from .weights import SampleWeights
 
 __all__ = ["SBRLTrainer", "TrainingHistory", "FrameworkSpec", "FRAMEWORKS", "FRAMEWORK_REGISTRY"]
+
+logger = logging.getLogger(__name__)
+
+#: One-time process-level flag for the "early stopping tracks the training
+#: loss" warning, so long experiment grids are not flooded with repeats.
+_WARNED_TRAINING_LOSS_EARLY_STOP = False
 
 
 @dataclass(frozen=True)
@@ -162,17 +178,45 @@ class SBRLTrainer:
             use_independence=use_independence,
             use_hierarchy=use_hierarchy,
         )
+        self.uses_weights = spec.uses_weights and self.weight_objective is not None
+        self._optimizer: Optional[Adam] = None
 
     # ------------------------------------------------------------------ #
     # Training
     # ------------------------------------------------------------------ #
-    def fit(self, train: CausalDataset, validation: Optional[CausalDataset] = None) -> TrainingHistory:
+    def fit(
+        self,
+        train: CausalDataset,
+        validation: Optional[CausalDataset] = None,
+        callbacks: Sequence[Callback] = (),
+    ) -> TrainingHistory:
         """Run the alternating optimisation on ``train``.
 
         Covariates are standardised with the training statistics (also applied
         to validation and at prediction time).  When ``validation`` is given,
         the best network state according to the validation factual loss is
         restored at the end (the paper's early-stopping protocol).
+
+        .. warning::
+           When ``validation`` is ``None``, best-state selection and early
+           stopping fall back to the *training* loss of the current
+           iteration (the current batch's loss in minibatch mode).  Training
+           loss decreases almost monotonically, so early stopping rarely
+           triggers and the "best" state is usually the last one — pass a
+           validation set for a meaningful stopping signal.  A one-time
+           warning is logged when this fallback is active.
+
+        ``config.training.batch_size`` selects the execution mode:
+        ``None`` (default) iterates on the full population exactly as the
+        original Algorithm 1 implementation did (bit-for-bit below
+        ``config.regularizers.subsample_threshold`` samples; above it the
+        kernel regularizers switch to seeded anchor subsampling unless the
+        threshold is disabled); a finite value draws seeded,
+        treatment-stratified minibatches and each iteration becomes one
+        minibatch step, with the sample-weight vector sliced by the
+        batch's index array.  ``callbacks`` are appended after the default
+        stack (history recording, optional verbose logging, best-state
+        checkpointing, early stopping).
         """
         cfg = self.config.training
         start = time.perf_counter()
@@ -181,70 +225,72 @@ class SBRLTrainer:
         self._standardize_mean, self._standardize_std = mean, std
         val_std = validation.standardize(mean, std)[0] if validation is not None else None
 
-        covariates = train_std.covariates
-        treatment = train_std.treatment
-        outcome = train_std.outcome
+        if val_std is None and cfg.early_stopping_patience is not None:
+            global _WARNED_TRAINING_LOSS_EARLY_STOP
+            if not _WARNED_TRAINING_LOSS_EARLY_STOP:
+                _WARNED_TRAINING_LOSS_EARLY_STOP = True
+                logger.warning(
+                    "no validation set given: early stopping and best-state "
+                    "selection will track the training loss, which rarely "
+                    "plateaus; pass a validation dataset for a meaningful "
+                    "stopping signal (warning shown once per process)"
+                )
 
         schedule = ExponentialDecay(cfg.learning_rate, cfg.lr_decay_rate, cfg.lr_decay_steps)
-        optimizer = Adam(self.backbone.parameters(), schedule=schedule)
+        self._optimizer = Adam(self.backbone.parameters(), schedule=schedule)
 
-        uses_weights = self.framework_spec.uses_weights and self.weight_objective is not None
-        if uses_weights:
+        if self.uses_weights:
             self.sample_weights = SampleWeights(
                 num_samples=len(train_std),
                 learning_rate=cfg.weight_learning_rate,
                 clip=cfg.weight_clip,
             )
 
-        best_state: Optional[Dict[str, np.ndarray]] = None
-        best_loss = np.inf
-        patience_left = cfg.early_stopping_patience
+        loader = DataLoader(train_std, batch_size=cfg.batch_size, seed=cfg.seed)
+        stack: List[Callback] = [HistoryRecorder()]
+        if cfg.verbose:
+            stack.append(VerboseLogger(label=self.framework))
+        stack.append(BestStateCheckpoint())
+        stack.append(EarlyStopping(cfg.early_stopping_patience, cfg.evaluation_interval))
+        stack.extend(callbacks)
 
-        for iteration in range(cfg.iterations):
-            # -------------------- network update -------------------- #
-            weights_constant = (
-                as_tensor(self.sample_weights.numpy()) if uses_weights else None
-            )
-            forward = self.backbone.forward(covariates, treatment)
-            loss = self.backbone.network_loss(forward, treatment, outcome, weights_constant)
-            self.backbone.zero_grad()
-            loss.backward()
-            optimizer.step()
-
-            weight_loss_value = float("nan")
-            # -------------------- weight update --------------------- #
-            if uses_weights and (iteration % cfg.weight_update_every == 0):
-                weight_loss_value = self._update_weights(covariates, treatment, cfg)
-
-            # -------------------- bookkeeping ------------------------ #
-            if iteration % cfg.evaluation_interval == 0 or iteration == cfg.iterations - 1:
-                validation_loss = self._evaluation_loss(val_std) if val_std is not None else loss.item()
-                self.history.iterations.append(iteration)
-                self.history.network_loss.append(loss.item())
-                self.history.weight_loss.append(weight_loss_value)
-                self.history.validation_loss.append(validation_loss)
-                if cfg.verbose:
-                    print(
-                        f"[{self.framework}] iter={iteration:5d} "
-                        f"loss={loss.item():.4f} val={validation_loss:.4f}"
-                    )
-                if validation_loss < best_loss - 1e-9:
-                    best_loss = validation_loss
-                    best_state = self.backbone.state_dict()
-                    self.history.best_iteration = iteration
-                    patience_left = cfg.early_stopping_patience
-                elif cfg.early_stopping_patience is not None:
-                    patience_left = (patience_left or 0) - cfg.evaluation_interval
-                    if patience_left <= 0:
-                        break
-
-        if best_state is not None:
-            self.backbone.load_state_dict(best_state)
+        loop = TrainingLoop(self, loader, validation=val_std, callbacks=stack)
+        loop.run()
         self.history.elapsed_seconds = time.perf_counter() - start
         return self.history
 
-    def _update_weights(self, covariates: np.ndarray, treatment: np.ndarray, cfg) -> float:
-        """One (or more) gradient steps on the sample weights, network fixed."""
+    def _network_step(
+        self,
+        covariates: np.ndarray,
+        treatment: np.ndarray,
+        outcome: np.ndarray,
+        indices: Optional[np.ndarray] = None,
+    ) -> float:
+        """One gradient step on the network parameters, weights held fixed."""
+        weights_constant = None
+        if self.uses_weights:
+            values = self.sample_weights.numpy()
+            weights_constant = as_tensor(values if indices is None else values[indices])
+        forward = self.backbone.forward(covariates, treatment)
+        loss = self.backbone.network_loss(forward, treatment, outcome, weights_constant)
+        self.backbone.zero_grad()
+        loss.backward()
+        self._optimizer.step()
+        return loss.item()
+
+    def _update_weights(
+        self,
+        covariates: np.ndarray,
+        treatment: np.ndarray,
+        cfg,
+        indices: Optional[np.ndarray] = None,
+    ) -> float:
+        """One (or more) gradient steps on the sample weights, network fixed.
+
+        In minibatch mode ``indices`` addresses the rows of the global
+        weight vector participating in this batch; gradients scatter back
+        into the full vector through the differentiable gather.
+        """
         assert self.sample_weights is not None and self.weight_objective is not None
         # The weight objective depends on the *values* of the activations but
         # not on the network parameters' gradients, so the forward pass can be
@@ -262,9 +308,14 @@ class SBRLTrainer:
         )
         last_value = float("nan")
         for _ in range(cfg.weight_steps_per_iteration):
+            weights = (
+                self.sample_weights.tensor
+                if indices is None
+                else self.sample_weights.tensor[indices]
+            )
             weight_loss = (
-                self.weight_objective(constant_forward, treatment, self.sample_weights.tensor)
-                + self.sample_weights.anchor_penalty()
+                self.weight_objective(constant_forward, treatment, weights)
+                + self.sample_weights.anchor_penalty(indices)
             )
             self.sample_weights.zero_grad()
             weight_loss.backward()

@@ -55,9 +55,15 @@ class SampleWeights:
         """Current weight values as a plain array (copy)."""
         return self.values.data.copy()
 
-    def anchor_penalty(self) -> Tensor:
-        """``R_w = mean((w - 1)^2)`` scaled by the anchor strength."""
-        deviation = self.values - 1.0
+    def anchor_penalty(self, indices: Optional[np.ndarray] = None) -> Tensor:
+        """``R_w = mean((w - 1)^2)`` scaled by the anchor strength.
+
+        With ``indices`` the penalty is computed over that slice of the
+        weight vector only — used by minibatch training so each batch
+        anchors exactly the weights it updates.
+        """
+        values = self.values if indices is None else self.values[indices]
+        deviation = values - 1.0
         return (deviation * deviation).mean() * self.anchor_strength
 
     def normalized(self) -> np.ndarray:

@@ -1,5 +1,6 @@
 """Benchmark data substrate: containers, generators and OOD environments."""
 
+from .batching import Batch, DataLoader, StratifiedBatchSampler
 from .dataset import CausalDataset, TrainValTestSplit
 from .environments import (
     biased_sampling_probabilities,
@@ -16,6 +17,9 @@ from .twins import TwinsConfig, TwinsReplication, TwinsSimulator
 __all__ = [
     "CausalDataset",
     "TrainValTestSplit",
+    "Batch",
+    "DataLoader",
+    "StratifiedBatchSampler",
     "SyntheticConfig",
     "SyntheticGenerator",
     "PAPER_BIAS_RATES",

@@ -1,0 +1,166 @@
+"""Treatment-stratified minibatching over :class:`CausalDataset`.
+
+The SBRL / SBRL-HAP training losses compare the treated and control groups
+inside every batch (the Balancing Regularizer's IPM and CFR's balance
+penalty are undefined for a single-arm batch — see ``_check_groups`` in
+:mod:`repro.metrics.ipm`).  A uniform random sampler frequently produces
+single-arm batches on imbalanced populations, so minibatch training uses a
+*stratified* sampler that
+
+* shuffles the treated and control index pools independently with a seeded
+  generator (deterministic batch sequences given a seed),
+* splits each pool across the epoch's batches so every batch contains at
+  least one unit of each arm and approximately the global treated fraction,
+* yields plain ``np.ndarray`` index arrays, so per-unit state such as the
+  global :class:`~repro.core.weights.SampleWeights` vector can be sliced
+  consistently with the batch.
+
+:class:`DataLoader` wraps a dataset and a sampler into an iterable of
+:class:`Batch` views ready for the training loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from .dataset import CausalDataset
+
+__all__ = ["Batch", "StratifiedBatchSampler", "DataLoader"]
+
+
+@dataclass
+class Batch:
+    """One minibatch view of a dataset (arrays are row-sliced, not copied)."""
+
+    indices: np.ndarray
+    covariates: np.ndarray
+    treatment: np.ndarray
+    outcome: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+class StratifiedBatchSampler:
+    """Seeded, treatment-stratified batch index sampler.
+
+    Parameters
+    ----------
+    treatment:
+        ``(n,)`` binary treatment indicator of the population to batch.
+    batch_size:
+        Target number of units per batch.  The number of batches per epoch
+        is ``ceil(n / batch_size)`` capped at the size of the minority arm,
+        so that every batch is guaranteed a unit from both arms (batches
+        grow beyond ``batch_size`` when the minority arm is very small).
+    seed:
+        Seed of the private generator driving the per-epoch shuffles.  Two
+        samplers built with the same arguments yield identical batch
+        sequences; successive epochs of one sampler differ.
+
+    Raises
+    ------
+    ValueError
+        If either treatment arm is empty (stratification is impossible) or
+        ``batch_size`` is not positive.
+    """
+
+    def __init__(self, treatment: np.ndarray, batch_size: int, seed: int = 0) -> None:
+        treatment = np.asarray(treatment, dtype=np.float64).ravel()
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.treated_indices = np.where(treatment == 1.0)[0]
+        self.control_indices = np.where(treatment == 0.0)[0]
+        if len(self.treated_indices) == 0 or len(self.control_indices) == 0:
+            raise ValueError(
+                "stratified batching needs both treatment arms to be non-empty "
+                f"(got {len(self.treated_indices)} treated, {len(self.control_indices)} control)"
+            )
+        self.num_samples = len(treatment)
+        self.batch_size = int(batch_size)
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        minority = min(len(self.treated_indices), len(self.control_indices))
+        self.num_batches = max(1, min(-(-self.num_samples // self.batch_size), minority))
+
+    def __len__(self) -> int:
+        return self.num_batches
+
+    def epoch(self) -> List[np.ndarray]:
+        """Batch index arrays for one epoch (advances the generator)."""
+        treated = self._rng.permutation(self.treated_indices)
+        control = self._rng.permutation(self.control_indices)
+        batches: List[np.ndarray] = []
+        for part_t, part_c in zip(
+            np.array_split(treated, self.num_batches),
+            np.array_split(control, self.num_batches),
+        ):
+            merged = np.concatenate([part_t, part_c])
+            batches.append(self._rng.permutation(merged))
+        return batches
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self.epoch())
+
+
+class DataLoader:
+    """Iterable of :class:`Batch` views over a :class:`CausalDataset`.
+
+    ``__iter__`` yields one epoch of stratified batches; :meth:`cycle`
+    yields batches forever (fresh epoch shuffles), which is what a loop
+    driven by a fixed iteration budget consumes.
+    """
+
+    def __init__(
+        self,
+        dataset: CausalDataset,
+        batch_size: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        self.dataset = dataset
+        self.batch_size = batch_size
+        if batch_size is None:
+            self.sampler: Optional[StratifiedBatchSampler] = None
+        else:
+            self.sampler = StratifiedBatchSampler(dataset.treatment, batch_size, seed=seed)
+
+    def __len__(self) -> int:
+        return 1 if self.sampler is None else len(self.sampler)
+
+    def _materialize(self, indices: np.ndarray) -> Batch:
+        return Batch(
+            indices=indices,
+            covariates=self.dataset.covariates[indices],
+            treatment=self.dataset.treatment[indices],
+            outcome=self.dataset.outcome[indices],
+        )
+
+    def full_batch(self) -> Batch:
+        """The whole dataset as a single batch (identity indices)."""
+        indices = np.arange(len(self.dataset))
+        return Batch(
+            indices=indices,
+            covariates=self.dataset.covariates,
+            treatment=self.dataset.treatment,
+            outcome=self.dataset.outcome,
+        )
+
+    def __iter__(self) -> Iterator[Batch]:
+        if self.sampler is None:
+            yield self.full_batch()
+            return
+        for indices in self.sampler:
+            yield self._materialize(indices)
+
+    def cycle(self) -> Iterator[Batch]:
+        """Yield batches indefinitely, reshuffling at every epoch boundary."""
+        if self.sampler is None:
+            batch = self.full_batch()
+            while True:
+                yield batch
+        while True:
+            for indices in self.sampler:
+                yield self._materialize(indices)

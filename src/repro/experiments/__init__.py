@@ -17,8 +17,17 @@ from .protocols import (
     twins_protocol,
 )
 from .reporting import format_matrix, format_series, format_table
-from .runner import MethodResult, MethodSpec, default_method_grid, run_method, run_methods
+from .runner import (
+    MethodResult,
+    MethodSpec,
+    default_method_grid,
+    run_method,
+    run_methods,
+    run_replications,
+    spawn_replication_seeds,
+)
 from .search import SearchSpace, SearchTrial, random_search
+from .training_benchmark import benchmark_training
 from .tables import (
     TableResult,
     table1_synthetic,
@@ -39,6 +48,9 @@ __all__ = [
     "MethodResult",
     "run_method",
     "run_methods",
+    "run_replications",
+    "spawn_replication_seeds",
+    "benchmark_training",
     "default_method_grid",
     "TableResult",
     "table1_synthetic",

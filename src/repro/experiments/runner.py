@@ -8,9 +8,11 @@ population and evaluates it on each test environment, returning a
 
 from __future__ import annotations
 
+import os
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -18,8 +20,18 @@ from ..core.config import SBRLConfig
 from ..core.estimator import HTEEstimator
 from ..data.dataset import CausalDataset
 from ..metrics.evaluation import EnvironmentReport, StabilityReport, aggregate_across_environments
+from ..registry import backbones as BACKBONE_REGISTRY
+from ..registry import frameworks as FRAMEWORK_REGISTRY
 
-__all__ = ["MethodSpec", "MethodResult", "run_method", "run_methods", "default_method_grid"]
+__all__ = [
+    "MethodSpec",
+    "MethodResult",
+    "run_method",
+    "run_methods",
+    "run_replications",
+    "spawn_replication_seeds",
+    "default_method_grid",
+]
 
 
 @dataclass
@@ -43,12 +55,14 @@ class MethodSpec:
     def name(self) -> str:
         if self.label is not None:
             return self.label
-        backbone = {"tarnet": "TARNet", "cfr": "CFR", "dercfr": "DeR-CFR", "der-cfr": "DeR-CFR"}[
-            self.backbone.lower()
-        ]
-        if self.framework == "vanilla":
+        # Resolve the display names through the registries so backbones and
+        # frameworks plugged in by user code are labelled correctly (the
+        # historical hardcoded dict raised KeyError for them).
+        backbone = BACKBONE_REGISTRY.display_name(self.backbone)
+        framework_spec = FRAMEWORK_REGISTRY.get(self.framework)
+        if not framework_spec.uses_weights:
             return backbone
-        return f"{backbone}+{self.framework.upper()}"
+        return f"{backbone}+{framework_spec.display_name}"
 
     def build(self) -> HTEEstimator:
         return HTEEstimator(
@@ -111,14 +125,106 @@ def run_method(
     )
 
 
+def _resolve_n_jobs(n_jobs: Optional[int]) -> int:
+    """Normalise an ``n_jobs`` argument (``None``/``-1`` mean all cores)."""
+    if n_jobs is None or n_jobs == -1:
+        return os.cpu_count() or 1
+    if n_jobs <= 0:
+        raise ValueError("n_jobs must be a positive integer, -1 or None")
+    return n_jobs
+
+
+def _run_method_task(task: Tuple) -> MethodResult:
+    """Top-level worker (must be picklable for ProcessPoolExecutor)."""
+    spec, train, test_environments, validation = task
+    return run_method(spec, train, test_environments, validation)
+
+
 def run_methods(
     specs: Sequence[MethodSpec],
     train: CausalDataset,
     test_environments: Mapping[str, CausalDataset],
     validation: Optional[CausalDataset] = None,
+    n_jobs: int = 1,
 ) -> List[MethodResult]:
-    """Run a list of methods on the same protocol."""
-    return [run_method(spec, train, test_environments, validation) for spec in specs]
+    """Run a list of methods on the same protocol.
+
+    With ``n_jobs > 1`` the methods are trained in parallel worker
+    processes (``concurrent.futures.ProcessPoolExecutor``).  Every method
+    is seeded by its spec and trained independently, so the results — and
+    their order — are identical to a serial run; only the wall-clock time
+    changes.  ``n_jobs=-1``/``None`` uses every available core.
+
+    Workers import ``repro`` afresh under the ``spawn``/``forkserver``
+    start methods (macOS, Windows): custom backbones or frameworks must be
+    registered at import time of a module the specs can be unpickled from,
+    not interactively, or the workers will not find them.
+    """
+    n_jobs = _resolve_n_jobs(n_jobs)
+    tasks = [(spec, train, test_environments, validation) for spec in specs]
+    if n_jobs == 1 or len(tasks) <= 1:
+        return [_run_method_task(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
+        return list(pool.map(_run_method_task, tasks))
+
+
+def spawn_replication_seeds(seed: int, replications: int) -> List[int]:
+    """Independent, deterministic per-replication seeds.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, so the seeds are
+    statistically independent streams (unlike ``seed + i`` offsets) while
+    remaining a pure function of ``(seed, replications)`` — serial and
+    parallel execution see exactly the same seeds.
+    """
+    if replications <= 0:
+        raise ValueError("replications must be positive")
+    children = np.random.SeedSequence(seed).spawn(replications)
+    return [int(child.generate_state(1)[0]) for child in children]
+
+
+def run_replications(
+    specs: Sequence[MethodSpec],
+    protocol_builder: Callable[[int, int], Mapping[str, object]],
+    replications: int,
+    seed: int = 2024,
+    n_jobs: int = 1,
+) -> List[List[MethodResult]]:
+    """Run a method grid over several dataset replications, optionally in parallel.
+
+    ``protocol_builder(replication_index, replication_seed)`` must return a
+    mapping with ``"train"``, ``"test_environments"`` and optionally
+    ``"validation"`` (the shape produced by the protocol helpers and
+    :func:`repro.data.load_benchmark`).  Protocols are built in the parent
+    process with seeds from :func:`spawn_replication_seeds`; the flattened
+    ``replications × specs`` task list is then fanned out across ``n_jobs``
+    workers.  Returns one ``List[MethodResult]`` per replication, in
+    replication order — identical to running serially.
+
+    Each task ships its replication's datasets to the worker, so a
+    replication's arrays are pickled once per spec; for very large
+    populations prefer fewer specs per call or serial execution.
+    """
+    n_jobs = _resolve_n_jobs(n_jobs)
+    seeds = spawn_replication_seeds(seed, replications)
+    protocols = [
+        protocol_builder(replication, replication_seed)
+        for replication, replication_seed in enumerate(seeds)
+    ]
+    tasks = [
+        (spec, protocol["train"], protocol["test_environments"], protocol.get("validation"))
+        for protocol in protocols
+        for spec in specs
+    ]
+    if n_jobs == 1 or len(tasks) <= 1:
+        flat = [_run_method_task(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
+            flat = list(pool.map(_run_method_task, tasks))
+    per_replication = len(specs)
+    return [
+        flat[index : index + per_replication]
+        for index in range(0, len(flat), per_replication)
+    ]
 
 
 def default_method_grid(

@@ -147,6 +147,7 @@ def table3_realworld(
     datasets: Sequence[str] = ("twins", "ihdp"),
     replications: Optional[int] = None,
     seed: int = 2024,
+    n_jobs: int = 1,
 ) -> TableResult:
     """Reproduce Table III: PEHE / ATE bias on train / validation / OOD test."""
     experiment_scale = SCALES[scale] if isinstance(scale, str) else scale
@@ -172,7 +173,11 @@ def table3_realworld(
         for replication in range(num_replications):
             protocol = builder(scale=experiment_scale, replication=replication, seed=seed + replication)
             results = run_methods(
-                specs, protocol["train"], protocol["test_environments"], protocol["validation"]
+                specs,
+                protocol["train"],
+                protocol["test_environments"],
+                protocol["validation"],
+                n_jobs=n_jobs,
             )
             for result in results:
                 store = accumulators.setdefault(result.name, {})

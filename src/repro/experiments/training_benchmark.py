@@ -1,0 +1,252 @@
+"""Training-engine benchmark: full-batch vs minibatch vs parallel grid.
+
+Records the performance trajectory of the minibatch execution engine on a
+synthetic benchmark:
+
+* **full-batch** — the original Algorithm 1 path: every iteration forwards
+  the whole population and the RBF-MMD / HSIC regularizers are exact
+  (O(n²) kernels);
+* **minibatch** — stratified ``batch_size`` batches with the anchor-
+  subsampled regularizers, run for fewer epochs (stochastic steps converge
+  per-epoch much faster, so the protocol grants the full-batch path twice
+  the epoch budget and still compares PEHE directly);
+* **parallel grid** — the paper's 3×3 method grid through
+  :func:`repro.experiments.run_methods` serially and with ``n_jobs``
+  worker processes, checking the results are identical.
+
+``benchmarks/bench_training.py`` wraps this module as a script that writes
+``BENCH_training.json`` (run in CI with ``--smoke``); ``repro train-bench``
+exposes it from the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Dict, Optional
+
+from ..core.config import BackboneConfig, RegularizerConfig, SBRLConfig, TrainingConfig
+from ..core.estimator import HTEEstimator
+from ..data.synthetic import SyntheticConfig, SyntheticGenerator
+from .protocols import experiment_config, get_scale
+from .reporting import format_table
+from .runner import default_method_grid, run_methods
+
+__all__ = ["benchmark_training", "format_benchmark", "write_benchmark"]
+
+
+def _engine_config(
+    iterations: int,
+    batch_size: Optional[int],
+    subsample_threshold: Optional[int],
+    num_anchors: int,
+    seed: int,
+) -> SBRLConfig:
+    """SBRL-HAP configuration with the costly RBF-MMD balancing active."""
+    return SBRLConfig(
+        backbone=BackboneConfig(rep_layers=3, rep_units=48, head_layers=3, head_units=24),
+        regularizers=RegularizerConfig(
+            alpha=1e-3,
+            gamma1=1.0,
+            gamma2=1e-3,
+            gamma3=1e-3,
+            ipm_kind="mmd_rbf",
+            max_pairs_per_layer=24,
+            subsample_threshold=subsample_threshold,
+            num_anchors=num_anchors,
+        ),
+        training=TrainingConfig(
+            iterations=iterations,
+            learning_rate=1e-3,
+            weight_update_every=5,
+            weight_steps_per_iteration=2,
+            weight_learning_rate=5e-2,
+            weight_clip=(1e-3, 3.0),
+            evaluation_interval=max(10, iterations // 10),
+            early_stopping_patience=None,
+            seed=seed,
+            batch_size=batch_size,
+        ),
+    )
+
+
+def _fit_and_time(config: SBRLConfig, train, test_environments, seed: int) -> Dict[str, object]:
+    estimator = HTEEstimator(backbone="cfr", framework="sbrl-hap", config=config, seed=seed)
+    start = time.perf_counter()
+    estimator.fit(train)
+    seconds = time.perf_counter() - start
+    pehe = {
+        str(name): float(estimator.evaluate(dataset)["pehe"])
+        for name, dataset in test_environments.items()
+    }
+    return {"seconds": float(seconds), "iterations": config.training.iterations, "pehe": pehe}
+
+
+def benchmark_training(
+    smoke: bool = False,
+    num_samples: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    full_batch_epochs: Optional[int] = None,
+    minibatch_epochs: Optional[int] = None,
+    num_anchors: int = 256,
+    grid_num_samples: Optional[int] = None,
+    n_jobs: Optional[int] = None,
+    seed: int = 2024,
+) -> Dict[str, object]:
+    """Run the three benchmark sections and return one JSON-serialisable dict.
+
+    ``smoke=True`` shrinks the *default* of every unset knob so the whole
+    run takes seconds — the CI mode that tracks the result schema per PR;
+    explicitly passed arguments always win over the smoke defaults.  The
+    committed ``BENCH_training.json`` comes from a full run with the
+    defaults.
+    """
+    defaults = (
+        (600, 128, 4, 2, 300, 2) if smoke else (4000, 256, 40, 20, 800, 4)
+    )
+    num_samples = num_samples if num_samples is not None else defaults[0]
+    batch_size = batch_size if batch_size is not None else defaults[1]
+    full_batch_epochs = full_batch_epochs if full_batch_epochs is not None else defaults[2]
+    minibatch_epochs = minibatch_epochs if minibatch_epochs is not None else defaults[3]
+    grid_num_samples = grid_num_samples if grid_num_samples is not None else defaults[4]
+    n_jobs = n_jobs if n_jobs is not None else defaults[5]
+
+    generator = SyntheticGenerator(SyntheticConfig(seed=seed))
+    protocol = generator.generate_train_test_protocol(
+        num_samples=num_samples, train_rho=2.5, test_rhos=(2.5, -2.5), seed=seed
+    )
+    train = protocol["train"]
+    environments = protocol["test_environments"]
+    batches_per_epoch = -(-num_samples // batch_size)
+
+    # ---------------- full-batch vs minibatch ----------------------------- #
+    full = _fit_and_time(
+        _engine_config(full_batch_epochs, None, None, num_anchors, seed),
+        train,
+        environments,
+        seed,
+    )
+    mini = _fit_and_time(
+        _engine_config(
+            minibatch_epochs * batches_per_epoch, batch_size, 4 * batch_size, num_anchors, seed
+        ),
+        train,
+        environments,
+        seed,
+    )
+    mini["batch_size"] = batch_size
+    mini["epochs"] = minibatch_epochs
+    full["epochs"] = full_batch_epochs
+    primary = "2.5"
+    minibatch_section = {
+        "full_batch": full,
+        "minibatch": mini,
+        "speedup": full["seconds"] / mini["seconds"],
+        "pehe_ratio": mini["pehe"][primary] / full["pehe"][primary],
+        "primary_environment": primary,
+    }
+
+    # ---------------- serial vs parallel method grid ---------------------- #
+    grid_protocol = generator.generate_train_test_protocol(
+        num_samples=grid_num_samples, train_rho=2.5, test_rhos=(-2.5,), seed=seed
+    )
+    grid_config = experiment_config(get_scale("smoke"), seed=seed)
+    if smoke:
+        specs = default_method_grid(
+            config=grid_config, backbones=("tarnet", "cfr"), frameworks=("vanilla", "sbrl"), seed=seed
+        )
+    else:
+        specs = default_method_grid(config=grid_config, seed=seed)
+
+    start = time.perf_counter()
+    serial = run_methods(
+        specs, grid_protocol["train"], grid_protocol["test_environments"], n_jobs=1
+    )
+    serial_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run_methods(
+        specs, grid_protocol["train"], grid_protocol["test_environments"], n_jobs=n_jobs
+    )
+    parallel_seconds = time.perf_counter() - start
+    identical = all(
+        s.name == p.name and s.per_environment == p.per_environment
+        for s, p in zip(serial, parallel)
+    )
+    grid_section = {
+        "methods": [spec.name for spec in specs],
+        "num_samples": grid_num_samples,
+        "n_jobs": n_jobs,
+        "serial_seconds": float(serial_seconds),
+        "parallel_seconds": float(parallel_seconds),
+        "speedup": serial_seconds / parallel_seconds,
+        "identical_results": bool(identical),
+    }
+
+    return {
+        "benchmark": "training-engine",
+        "mode": "smoke" if smoke else "full",
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "dataset": {
+            "name": "syn_8_8_8_2",
+            "num_samples": num_samples,
+            "train_rho": 2.5,
+            "seed": seed,
+        },
+        "minibatch": minibatch_section,
+        "parallel_grid": grid_section,
+    }
+
+
+def format_benchmark(result: Dict[str, object]) -> str:
+    """Human-readable tables for the CLI / script output."""
+    mini = result["minibatch"]
+    rows = [
+        [
+            "full-batch (exact regularizers)",
+            mini["full_batch"]["epochs"],
+            mini["full_batch"]["seconds"],
+            mini["full_batch"]["pehe"][mini["primary_environment"]],
+            1.0,
+        ],
+        [
+            f"minibatch (b={mini['minibatch']['batch_size']}, subsampled)",
+            mini["minibatch"]["epochs"],
+            mini["minibatch"]["seconds"],
+            mini["minibatch"]["pehe"][mini["primary_environment"]],
+            mini["speedup"],
+        ],
+    ]
+    text = format_table(
+        ["strategy", "epochs", "seconds", "PEHE", "speedup"],
+        rows,
+        title=f"Minibatch engine on {result['dataset']['num_samples']} samples",
+    )
+    grid = result["parallel_grid"]
+    grid_rows = [
+        ["serial", grid["serial_seconds"], 1.0],
+        [f"n_jobs={grid['n_jobs']}", grid["parallel_seconds"], grid["speedup"]],
+    ]
+    text += "\n" + format_table(
+        ["execution", "seconds", "speedup"],
+        grid_rows,
+        title=(
+            f"{len(grid['methods'])}-method grid on {grid['num_samples']} samples "
+            f"(identical results: {grid['identical_results']}, "
+            f"cpus: {result['machine']['cpu_count']})"
+        ),
+    )
+    return text
+
+
+def write_benchmark(result: Dict[str, object], path: str) -> str:
+    """Write the benchmark dict as pretty-printed JSON; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path

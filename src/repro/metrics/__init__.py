@@ -16,6 +16,7 @@ from .hsic import (
     RandomFourierFeatures,
     hsic,
     hsic_rff,
+    hsic_subsampled,
     mean_pairwise_hsic_rff,
     pairwise_decorrelation_loss,
     weighted_hsic_rff,
@@ -25,10 +26,12 @@ from .ipm import (
     mmd_linear,
     mmd_linear_weighted,
     mmd_rbf,
+    mmd_rbf_anchored,
     mmd_rbf_weighted,
     wasserstein,
     weighted_ipm,
 )
+from .subsampling import subsample_indices
 
 __all__ = [
     "pehe",
@@ -43,13 +46,16 @@ __all__ = [
     "aggregate_across_environments",
     "RandomFourierFeatures",
     "hsic",
+    "hsic_subsampled",
     "hsic_rff",
     "mean_pairwise_hsic_rff",
     "weighted_hsic_rff",
     "pairwise_decorrelation_loss",
     "mmd_linear",
     "mmd_rbf",
+    "mmd_rbf_anchored",
     "wasserstein",
+    "subsample_indices",
     "ipm_distance",
     "mmd_linear_weighted",
     "mmd_rbf_weighted",

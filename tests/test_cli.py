@@ -56,6 +56,24 @@ class TestCommands:
         args = build_parser().parse_args(["serve-bench"])
         assert args.model is None and args.rows == 2000
 
+    def test_train_bench_defaults(self):
+        args = build_parser().parse_args(["train-bench"])
+        # None defers to the library defaults, so explicit flags are never
+        # clobbered by --smoke.
+        assert not args.smoke and args.batch_size is None and args.n_jobs is None
+
+    def test_train_bench_smoke_writes_json(self, capsys, tmp_path):
+        import json
+
+        output = str(tmp_path / "bench.json")
+        assert main(["train-bench", "--smoke", "--output", output]) == 0
+        out = capsys.readouterr().out
+        assert "Minibatch engine" in out and "wrote" in out
+        record = json.loads(open(output).read())
+        assert record["mode"] == "smoke"
+        assert record["parallel_grid"]["identical_results"] is True
+        assert record["minibatch"]["full_batch"]["seconds"] > 0
+
     @pytest.mark.slow
     def test_save_predict_serve_bench_pipeline(self, capsys, tmp_path):
         artifact = str(tmp_path / "model")

@@ -1,0 +1,83 @@
+"""Unit tests for the treatment-stratified batch sampler and data loader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.batching import Batch, DataLoader, StratifiedBatchSampler
+
+
+def _treatment(num_treated: int, num_control: int) -> np.ndarray:
+    return np.concatenate([np.ones(num_treated), np.zeros(num_control)])
+
+
+class TestStratifiedBatchSampler:
+    def test_epoch_partitions_all_indices(self):
+        treatment = _treatment(60, 140)
+        sampler = StratifiedBatchSampler(treatment, batch_size=32, seed=0)
+        batches = sampler.epoch()
+        combined = np.sort(np.concatenate(batches))
+        np.testing.assert_array_equal(combined, np.arange(200))
+
+    def test_every_batch_has_both_arms(self):
+        treatment = _treatment(9, 191)  # heavily imbalanced
+        sampler = StratifiedBatchSampler(treatment, batch_size=16, seed=1)
+        for _ in range(3):  # several epochs
+            for batch in sampler.epoch():
+                assert treatment[batch].sum() >= 1
+                assert (1 - treatment[batch]).sum() >= 1
+
+    def test_minority_arm_caps_batch_count(self):
+        treatment = _treatment(3, 197)
+        sampler = StratifiedBatchSampler(treatment, batch_size=10, seed=0)
+        assert len(sampler) == 3  # not ceil(200 / 10) = 20
+
+    def test_deterministic_given_seed(self):
+        treatment = _treatment(50, 150)
+        first = StratifiedBatchSampler(treatment, batch_size=32, seed=42)
+        second = StratifiedBatchSampler(treatment, batch_size=32, seed=42)
+        for _ in range(2):
+            for a, b in zip(first.epoch(), second.epoch()):
+                np.testing.assert_array_equal(a, b)
+
+    def test_epochs_reshuffle(self):
+        treatment = _treatment(50, 150)
+        sampler = StratifiedBatchSampler(treatment, batch_size=32, seed=0)
+        first = np.concatenate(sampler.epoch())
+        second = np.concatenate(sampler.epoch())
+        assert not np.array_equal(first, second)
+
+    def test_rejects_single_arm_population(self):
+        with pytest.raises(ValueError):
+            StratifiedBatchSampler(np.ones(50), batch_size=8)
+        with pytest.raises(ValueError):
+            StratifiedBatchSampler(np.zeros(50), batch_size=8)
+
+    def test_rejects_nonpositive_batch_size(self):
+        with pytest.raises(ValueError):
+            StratifiedBatchSampler(_treatment(10, 10), batch_size=0)
+
+
+class TestDataLoader:
+    def test_full_batch_mode(self, small_train):
+        loader = DataLoader(small_train, batch_size=None)
+        batches = list(loader)
+        assert len(batches) == 1
+        assert len(batches[0]) == len(small_train)
+        np.testing.assert_array_equal(batches[0].indices, np.arange(len(small_train)))
+
+    def test_minibatch_rows_match_indices(self, small_train):
+        loader = DataLoader(small_train, batch_size=32, seed=7)
+        for batch in loader:
+            np.testing.assert_array_equal(batch.covariates, small_train.covariates[batch.indices])
+            np.testing.assert_array_equal(batch.treatment, small_train.treatment[batch.indices])
+            np.testing.assert_array_equal(batch.outcome, small_train.outcome[batch.indices])
+
+    def test_cycle_crosses_epochs(self, small_train):
+        loader = DataLoader(small_train, batch_size=64, seed=0)
+        stream = loader.cycle()
+        consumed = [next(stream) for _ in range(2 * len(loader) + 1)]
+        assert all(isinstance(batch, Batch) for batch in consumed)
+        first_epoch = np.sort(np.concatenate([b.indices for b in consumed[: len(loader)]]))
+        np.testing.assert_array_equal(first_epoch, np.arange(len(small_train)))

@@ -55,7 +55,25 @@ class TestMethodSpec:
         assert MethodSpec(backbone="cfr", framework="vanilla").name == "CFR"
         assert MethodSpec(backbone="tarnet", framework="sbrl").name == "TARNet+SBRL"
         assert MethodSpec(backbone="dercfr", framework="sbrl-hap").name == "DeR-CFR+SBRL-HAP"
+        assert MethodSpec(backbone="der-cfr", framework="sbrl-hap").name == "DeR-CFR+SBRL-HAP"
         assert MethodSpec(label="custom").name == "custom"
+
+    def test_name_resolves_registered_custom_backbone(self):
+        # Regression test: the display name used to come from a hardcoded
+        # dict that raised KeyError for backbones plugged in via the
+        # registry; it must now fall back to the registry's display name.
+        from repro.core.backbones import TARNet
+        from repro.registry import backbones
+
+        backbones.register("enginetestnet", TARNet, display_name="EngineTestNet")
+        try:
+            assert MethodSpec(backbone="enginetestnet", framework="vanilla").name == "EngineTestNet"
+            assert (
+                MethodSpec(backbone="enginetestnet", framework="sbrl-hap").name
+                == "EngineTestNet+SBRL-HAP"
+            )
+        finally:
+            backbones.unregister("enginetestnet")
 
     def test_default_method_grid(self, fast_config):
         grid = default_method_grid(config=fast_config)

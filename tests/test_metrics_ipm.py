@@ -10,6 +10,7 @@ from repro.metrics.ipm import (
     mmd_linear,
     mmd_linear_weighted,
     mmd_rbf,
+    mmd_rbf_anchored,
     mmd_rbf_weighted,
     wasserstein,
     weighted_ipm,
@@ -68,6 +69,51 @@ class TestNumpyIPM:
             mmd_linear(np.zeros((0, 2)), np.zeros((3, 2)))
         with pytest.raises(ValueError):
             mmd_linear(np.zeros(3), np.zeros(3))
+
+    def test_wasserstein_finite_for_large_cost_matrices(self):
+        # Regression test: points separated by distances far larger than
+        # epsilon drive the Sinkhorn kernel to its underflow floor, and the
+        # unclamped scaling updates divided by exactly zero, propagating
+        # inf/NaN into the transport plan.
+        rng = np.random.default_rng(5)
+        control = rng.normal(size=(20, 3)) * 1e4
+        treated = rng.normal(size=(15, 3)) * 1e4 + 1e5
+        value = wasserstein(control, treated, epsilon=0.1)
+        assert np.isfinite(value)
+        assert value > 0.0
+
+    def test_wasserstein_clamp_preserves_moderate_values(self, groups):
+        # The clamp must not disturb the well-conditioned regime.
+        control, _, shifted = groups
+        value = wasserstein(control, shifted)
+        assert np.isfinite(value) and value > 0.0
+
+
+class TestAnchoredMMD:
+    def test_matches_exact_when_anchors_cover_groups(self, groups):
+        control, _, shifted = groups
+        anchored = mmd_rbf_anchored(control, shifted, num_anchors=len(control) + len(shifted))
+        np.testing.assert_allclose(anchored, mmd_rbf(control, shifted), rtol=1e-12)
+
+    def test_converges_to_exact_with_anchor_count(self):
+        rng = np.random.default_rng(7)
+        control = rng.normal(0.0, 1.0, size=(600, 5))
+        treated = rng.normal(0.5, 1.0, size=(500, 5))
+        exact = mmd_rbf(control, treated)
+        errors = [
+            abs(mmd_rbf_anchored(control, treated, num_anchors=m, seed=11) - exact)
+            for m in (16, 128, 600)
+        ]
+        assert errors[-1] < errors[0]
+        assert errors[-1] == pytest.approx(0.0, abs=1e-12)  # anchors cover both groups
+
+    def test_seeded_and_validated(self, groups):
+        control, _, shifted = groups
+        first = mmd_rbf_anchored(control, shifted, num_anchors=32, seed=3)
+        second = mmd_rbf_anchored(control, shifted, num_anchors=32, seed=3)
+        assert first == second
+        with pytest.raises(ValueError):
+            mmd_rbf_anchored(control, shifted, num_anchors=0)
 
 
 class TestWeightedIPM:
