@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Run the scenario-matrix stress test and record the degradation profiles.
+
+Writes ``BENCH_scenarios.json`` with per-(scenario, severity, method)
+PEHE / ATE-error aggregates and cross-severity degradation slopes for every
+registered scenario (overlap violation, hidden confounding, outcome-noise
+pathologies, sparse high-dimensional covariates, nonlinear surfaces and
+label flip noise).
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py            # full-severity run
+    PYTHONPATH=src python benchmarks/bench_scenarios.py --smoke    # CI seconds-scale run
+
+Like ``bench_training.py`` this is a plain script executed in CI on every
+push; the JSON is uploaded as an artifact so the robustness trajectory is
+tracked per PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+# Allow running straight from a checkout without installation.
+_SRC = os.path.abspath(os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"))
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments.scenario_suite import (  # noqa: E402
+    ScenarioSuiteConfig,
+    format_scenario_suite,
+    run_scenario_suite,
+    write_scenario_suite,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="seconds-scale run for CI (two severities)"
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        dest="scenario_names",
+        help="restrict to one scenario (repeatable; default: all registered)",
+    )
+    parser.add_argument("--severities", type=float, nargs="+", default=None)
+    parser.add_argument("--num-samples", type=int, default=None, help="default: 500 (250 with --smoke)")
+    parser.add_argument("--replications", type=int, default=1)
+    parser.add_argument("--n-jobs", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument(
+        "--output",
+        default=os.path.join(os.path.dirname(_SRC), "BENCH_scenarios.json"),
+        help="where to write the JSON record (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    config = ScenarioSuiteConfig.from_options(
+        smoke=args.smoke,
+        scenario_names=args.scenario_names,
+        severities=args.severities,
+        num_samples=args.num_samples,
+        replications=args.replications,
+        n_jobs=args.n_jobs,
+        seed=args.seed,
+    )
+    result = run_scenario_suite(config)
+    print(format_scenario_suite(result))
+    path = write_scenario_suite(result, args.output)
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,9 +9,10 @@ See ``README.md`` for a quickstart, the registry extension points and the
 save/load/serve workflow.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from . import registry
+from . import scenarios
 from .core import (
     CFR,
     FRAMEWORKS,
@@ -41,6 +42,7 @@ from .serve import PredictionService
 __all__ = [
     "__version__",
     "registry",
+    "scenarios",
     "HTEEstimator",
     "SBRLTrainer",
     "SBRLConfig",

@@ -10,6 +10,7 @@ Exposes the experiment harness without writing Python::
     repro save --benchmark syn_8_8_8_2 --output artifacts/model   # train + persist
     repro predict --model artifacts/model --benchmark syn_8_8_8_2 # serve from artifact
     repro serve-bench --rows 2000                                 # microbatching benchmark
+    repro scenarios --smoke                                       # stress-test matrix
 
 (Also runnable as ``python -m repro.cli`` when not installed.)  The CLI is
 intentionally thin: every command is a small wrapper over the public library
@@ -127,6 +128,35 @@ def build_parser() -> argparse.ArgumentParser:
     train_bench.add_argument("--n-jobs", type=int, default=None, help="default: 4 (2 with --smoke)")
     train_bench.add_argument("--seed", type=int, default=2024)
     train_bench.add_argument(
+        "--output", default=None, help="write the JSON record to this path"
+    )
+
+    scenarios = subparsers.add_parser(
+        "scenarios",
+        help="run the scenario-matrix stress test (scenario x severity x method)",
+    )
+    scenarios.add_argument(
+        "--smoke", action="store_true", help="seconds-scale run (CI mode)"
+    )
+    scenarios.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        dest="scenario_names",
+        help="restrict to one scenario (repeatable; default: all registered)",
+    )
+    scenarios.add_argument(
+        "--severities",
+        type=float,
+        nargs="+",
+        default=None,
+        help="severity grid in [0, 1] (default: each scenario's own grid)",
+    )
+    scenarios.add_argument("--num-samples", type=int, default=None, help="default: 500 (250 with --smoke)")
+    scenarios.add_argument("--replications", type=int, default=1)
+    scenarios.add_argument("--n-jobs", type=int, default=1)
+    scenarios.add_argument("--seed", type=int, default=2024)
+    scenarios.add_argument(
         "--output", default=None, help="write the JSON record to this path"
     )
 
@@ -319,6 +349,30 @@ def _command_train_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_scenarios(args: argparse.Namespace) -> int:
+    from .experiments.scenario_suite import (
+        ScenarioSuiteConfig,
+        format_scenario_suite,
+        run_scenario_suite,
+        write_scenario_suite,
+    )
+
+    config = ScenarioSuiteConfig.from_options(
+        smoke=args.smoke,
+        scenario_names=args.scenario_names,
+        severities=args.severities,
+        num_samples=args.num_samples,
+        replications=args.replications,
+        n_jobs=args.n_jobs,
+        seed=args.seed,
+    )
+    result = run_scenario_suite(config)
+    print(format_scenario_suite(result))
+    if args.output is not None:
+        print(f"wrote {write_scenario_suite(result, args.output)}")
+    return 0
+
+
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "list": _command_list,
     "run": _command_run,
@@ -328,6 +382,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "predict": _command_predict,
     "serve-bench": _command_serve_bench,
     "train-bench": _command_train_bench,
+    "scenarios": _command_scenarios,
 }
 
 

@@ -65,13 +65,18 @@ class StratifiedBatchSampler:
     ------
     ValueError
         If either treatment arm is empty (stratification is impossible) or
-        ``batch_size`` is not positive.
+        ``batch_size`` is smaller than 2 — a single-unit batch cannot
+        contain both arms, so stratified ``batch_size=1`` sampling is a
+        contradiction rather than something to silently reinterpret.
     """
 
     def __init__(self, treatment: np.ndarray, batch_size: int, seed: int = 0) -> None:
         treatment = np.asarray(treatment, dtype=np.float64).ravel()
-        if batch_size <= 0:
-            raise ValueError("batch_size must be positive")
+        if batch_size < 2:
+            raise ValueError(
+                "batch_size must be at least 2: every stratified batch contains "
+                f"one unit from each treatment arm (got batch_size={batch_size})"
+            )
         self.treated_indices = np.where(treatment == 1.0)[0]
         self.control_indices = np.where(treatment == 0.0)[0]
         if len(self.treated_indices) == 0 or len(self.control_indices) == 0:

@@ -39,6 +39,14 @@ def biased_sampling_probabilities(
     columns = np.asarray(columns, dtype=int)
     if columns.size == 0:
         raise ValueError("need at least one column to bias the sampling on")
+    if columns.ndim != 1:
+        raise ValueError("columns must be a 1-D sequence of column indices")
+    out_of_range = columns[(columns < 0) | (columns >= dataset.num_features)]
+    if out_of_range.size:
+        raise ValueError(
+            f"columns {sorted(set(int(c) for c in out_of_range))} are out of range "
+            f"for a dataset with {dataset.num_features} features"
+        )
     effect = dataset.mu1 - dataset.mu0
     sign = 1.0 if rho > 0 else -1.0
     log_prob = np.zeros(len(dataset))

@@ -120,19 +120,37 @@ class SyntheticGenerator:
     # ------------------------------------------------------------------ #
     # Structural equations
     # ------------------------------------------------------------------ #
-    def _treatment_logits(self, covariates: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    def systematic_treatment_logits(self, covariates: np.ndarray) -> np.ndarray:
+        """Noise-free treatment logits ``theta_t . X_IC / 10``.
+
+        Public so scenario perturbations (e.g. overlap violation) can build
+        on the *same* structural equation that generated the data.
+        """
         roles = self._roles
         x_ic = covariates[:, np.concatenate([roles["instrument"], roles["confounder"]])]
-        noise = rng.normal(0.0, self.config.treatment_noise_scale, size=len(covariates))
-        return x_ic @ self.theta_treatment / 10.0 + noise
+        return x_ic @ self.theta_treatment / 10.0
 
-    def _potential_outcomes(self, covariates: np.ndarray) -> tuple:
+    def latent_outcome_scores(self, covariates: np.ndarray) -> tuple:
+        """Continuous latent scores ``(z0, z1)`` before binarisation.
+
+        These are the structural outcome surfaces; :meth:`_potential_outcomes`
+        thresholds them at their means.  Public for the same reason as
+        :meth:`systematic_treatment_logits`.
+        """
         roles = self._roles
         cfg = self.config
         x_ca = covariates[:, np.concatenate([roles["confounder"], roles["adjustment"]])]
         denom = 10.0 * (cfg.num_confounders + cfg.num_adjustments)
         z0 = x_ca @ self.theta_outcome0 / denom
         z1 = (x_ca ** 2) @ self.theta_outcome1 / denom
+        return z0, z1
+
+    def _treatment_logits(self, covariates: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        noise = rng.normal(0.0, self.config.treatment_noise_scale, size=len(covariates))
+        return self.systematic_treatment_logits(covariates) + noise
+
+    def _potential_outcomes(self, covariates: np.ndarray) -> tuple:
+        z0, z1 = self.latent_outcome_scores(covariates)
         y0 = (z0 > z0.mean()).astype(np.float64)
         y1 = (z1 > z1.mean()).astype(np.float64)
         return y0, y1

@@ -37,17 +37,26 @@ __all__ = [
 
 
 def _auc(scores: np.ndarray, labels: np.ndarray) -> float:
-    """Area under the ROC curve via the rank-sum formulation."""
-    scores = np.asarray(scores, dtype=np.float64)
-    labels = np.asarray(labels, dtype=np.float64)
+    """Area under the ROC curve via the rank-sum formulation.
+
+    Degenerate inputs are handled explicitly: single-class labels raise a
+    ``ValueError`` (an AUC is undefined without both classes), while
+    constant scores tie every rank and therefore return exactly 0.5.
+    """
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    labels = np.asarray(labels, dtype=np.float64).ravel()
+    if scores.shape != labels.shape:
+        raise ValueError("scores and labels must have the same length")
+    if not np.all(np.isin(labels, (0.0, 1.0))):
+        raise ValueError("labels must be binary (0/1)")
     positives = scores[labels == 1.0]
     negatives = scores[labels == 0.0]
     if len(positives) == 0 or len(negatives) == 0:
-        raise ValueError("need both source and target samples to compute an AUC")
-    order = np.argsort(np.concatenate([positives, negatives]), kind="mergesort")
-    ranks = np.empty(len(order), dtype=np.float64)
-    ranks[order] = np.arange(1, len(order) + 1)
-    # Average ranks for ties.
+        raise ValueError(
+            "AUC is undefined for single-class labels: need both source (0) "
+            "and target (1) samples"
+        )
+    # Mid-ranks (ties averaged) via the sorted unique values.
     combined = np.concatenate([positives, negatives])
     sorted_scores = np.sort(combined)
     unique, first_index, counts = np.unique(sorted_scores, return_index=True, return_counts=True)
@@ -76,6 +85,8 @@ def domain_classifier_auc(
     target = np.asarray(target, dtype=np.float64)
     if source.ndim != 2 or target.ndim != 2 or source.shape[1] != target.shape[1]:
         raise ValueError("source and target must be 2-D arrays with the same feature dimension")
+    if len(source) == 0 or len(target) == 0:
+        raise ValueError("source and target must each contain at least one row")
     rng = np.random.default_rng(seed)
     if len(source) > max_samples:
         source = source[rng.choice(len(source), size=max_samples, replace=False)]
@@ -100,6 +111,8 @@ def moment_shift_score(source: np.ndarray, target: np.ndarray) -> Dict[str, obje
     target = np.asarray(target, dtype=np.float64)
     if source.ndim != 2 or target.ndim != 2 or source.shape[1] != target.shape[1]:
         raise ValueError("source and target must be 2-D arrays with the same feature dimension")
+    if len(source) == 0 or len(target) == 0:
+        raise ValueError("source and target must each contain at least one row")
     mean_s, mean_t = source.mean(axis=0), target.mean(axis=0)
     std_s, std_t = source.std(axis=0), target.std(axis=0)
     pooled = np.sqrt(0.5 * (std_s ** 2 + std_t ** 2))

@@ -26,6 +26,14 @@ from .runner import (
     run_replications,
     spawn_replication_seeds,
 )
+from .scenario_suite import (
+    ScenarioCellResult,
+    ScenarioSuiteConfig,
+    degradation_slope,
+    format_scenario_suite,
+    run_scenario_suite,
+    write_scenario_suite,
+)
 from .search import SearchSpace, SearchTrial, random_search
 from .training_benchmark import benchmark_training
 from .tables import (
@@ -62,6 +70,12 @@ __all__ = [
     "figure4_f1_stability",
     "figure5_decorrelation",
     "figure6_hyperparameter_sensitivity",
+    "ScenarioSuiteConfig",
+    "ScenarioCellResult",
+    "run_scenario_suite",
+    "degradation_slope",
+    "format_scenario_suite",
+    "write_scenario_suite",
     "SearchSpace",
     "SearchTrial",
     "random_search",

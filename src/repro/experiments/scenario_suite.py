@@ -1,0 +1,340 @@
+"""Scenario-matrix suite: fan (scenario x severity x method) through the
+parallel replication machinery and aggregate degradation profiles.
+
+The suite is the stress-test counterpart of the paper-table harness: for
+every registered scenario (:mod:`repro.scenarios`) it sweeps a severity
+grid, trains each method spec on the scenario's training population
+(through :func:`repro.experiments.run_replications`, so replications and
+methods parallelise across ``n_jobs`` workers exactly like the paper
+experiments), evaluates on the scenario's shifted test environments, and
+summarises each (scenario, method) pair with *cross-severity degradation
+slopes* — the least-squares slope of mean PEHE / ATE error against
+severity.  A robust method has a flat profile; a method that silently
+relies on overlap, full observability or Gaussian noise does not.
+
+``benchmarks/bench_scenarios.py`` wraps this module as the CI smoke job;
+``repro scenarios`` exposes it from the CLI; the committed
+``BENCH_scenarios.json`` is a full-severity run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..registry import scenarios as SCENARIO_REGISTRY
+from ..scenarios import DEFAULT_SEVERITIES, available_scenarios, build_scenario
+from .protocols import experiment_config, get_scale
+from .reporting import format_table
+from .runner import MethodSpec, MethodResult, run_replications
+
+__all__ = [
+    "ScenarioSuiteConfig",
+    "ScenarioCellResult",
+    "run_scenario_suite",
+    "degradation_slope",
+    "format_scenario_suite",
+    "write_scenario_suite",
+]
+
+
+@dataclass
+class ScenarioSuiteConfig:
+    """Knobs of one scenario-matrix run.
+
+    ``scenario_names=None`` sweeps every registered scenario;
+    ``severities=None`` uses each scenario's own default grid.  Methods
+    default to the core robustness comparison of the paper: the CFR
+    backbone with and without the SBRL-HAP framework.
+    """
+
+    scenario_names: Optional[Sequence[str]] = None
+    severities: Optional[Sequence[float]] = None
+    num_samples: int = 500
+    replications: int = 1
+    n_jobs: int = 1
+    seed: int = 2024
+    scale: str = "smoke"
+    methods: Optional[Sequence[MethodSpec]] = None
+    dims: Tuple[int, int, int, int] = (4, 4, 4, 2)
+
+    def resolved_scenarios(self) -> List[str]:
+        if self.scenario_names is None:
+            return available_scenarios()
+        return [SCENARIO_REGISTRY.resolve(name) for name in self.scenario_names]
+
+    def resolved_methods(self, seed: int) -> List[MethodSpec]:
+        if self.methods is not None:
+            return list(self.methods)
+        config = experiment_config(get_scale(self.scale), seed=seed)
+        return [
+            MethodSpec(backbone="cfr", framework="vanilla", config=config, seed=seed),
+            MethodSpec(backbone="cfr", framework="sbrl-hap", config=config, seed=seed),
+        ]
+
+    @classmethod
+    def from_options(
+        cls,
+        smoke: bool = False,
+        scenario_names: Optional[Sequence[str]] = None,
+        severities: Optional[Sequence[float]] = None,
+        num_samples: Optional[int] = None,
+        replications: int = 1,
+        n_jobs: int = 1,
+        seed: int = 2024,
+    ) -> "ScenarioSuiteConfig":
+        """The shared CLI / benchmark-script configuration policy.
+
+        ``smoke`` shrinks the defaults of every *unset* knob to a
+        seconds-scale run (250 samples, severities {0, 1}, smoke-scale
+        training); explicitly passed values always win.  Both ``repro
+        scenarios`` and ``benchmarks/bench_scenarios.py`` resolve their
+        arguments here, so the two entry points can never drift apart.
+        """
+        if smoke:
+            num_samples = num_samples if num_samples is not None else 250
+            severities = severities if severities is not None else (0.0, 1.0)
+        else:
+            num_samples = num_samples if num_samples is not None else 500
+        return cls(
+            scenario_names=scenario_names,
+            severities=severities,
+            num_samples=num_samples,
+            replications=replications,
+            n_jobs=n_jobs,
+            seed=seed,
+            scale="smoke" if smoke else "default",
+        )
+
+
+@dataclass
+class ScenarioCellResult:
+    """Aggregated metrics of one (scenario, severity, method) cell."""
+
+    scenario: str
+    severity: float
+    method: str
+    pehe_mean: float
+    pehe_std: float
+    ate_error_mean: float
+    ate_error_std: float
+    pehe_stability: float
+    training_seconds: float
+    replications: int = 1
+    per_environment: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "severity": self.severity,
+            "method": self.method,
+            "pehe_mean": self.pehe_mean,
+            "pehe_std": self.pehe_std,
+            "ate_error_mean": self.ate_error_mean,
+            "ate_error_std": self.ate_error_std,
+            "pehe_stability": self.pehe_stability,
+            "training_seconds": self.training_seconds,
+            "replications": self.replications,
+            "per_environment": self.per_environment,
+        }
+
+
+def degradation_slope(severities: Sequence[float], values: Sequence[float]) -> float:
+    """Least-squares slope of ``values`` against ``severities``.
+
+    The scalar summary of a degradation profile: 0 means the method is
+    unaffected by the perturbation axis, large positive means the error
+    grows quickly as the scenario hardens.  With fewer than two distinct
+    severities the slope is undefined and reported as 0.
+    """
+    severities = np.asarray(severities, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if severities.shape != values.shape:
+        raise ValueError("severities and values must have the same length")
+    if len(np.unique(severities)) < 2:
+        return 0.0
+    centred = severities - severities.mean()
+    return float(np.dot(centred, values - values.mean()) / np.dot(centred, centred))
+
+
+def _aggregate_cell(
+    scenario: str,
+    severity: float,
+    method: str,
+    results: Sequence[MethodResult],
+) -> ScenarioCellResult:
+    """Collapse one method's replications of one cell into a result row."""
+    pehe = np.array([result.stability.mean["pehe"] for result in results])
+    ate = np.array([result.stability.mean["ate_error"] for result in results])
+    pehe_stability = np.array([result.stability.stability["pehe"] for result in results])
+    seconds = float(np.sum([result.training_seconds for result in results]))
+    per_environment: Dict[str, Dict[str, float]] = {}
+    for name, metrics in results[0].per_environment.items():
+        per_environment[name] = {
+            key: float(
+                np.mean([result.per_environment[name][key] for result in results])
+            )
+            for key in ("pehe", "ate_error")
+            if key in metrics
+        }
+    return ScenarioCellResult(
+        scenario=scenario,
+        severity=severity,
+        method=method,
+        pehe_mean=float(pehe.mean()),
+        pehe_std=float(pehe.std()),
+        ate_error_mean=float(ate.mean()),
+        ate_error_std=float(ate.std()),
+        pehe_stability=float(pehe_stability.mean()),
+        training_seconds=seconds,
+        replications=len(results),
+        per_environment=per_environment,
+    )
+
+
+def run_scenario_suite(config: Optional[ScenarioSuiteConfig] = None) -> Dict[str, object]:
+    """Run the scenario matrix and return one JSON-serialisable record.
+
+    For each scenario and severity, ``config.replications`` independent
+    datasets are built (seeded through the replication machinery's
+    ``SeedSequence`` spawning) and every method spec is fitted on each —
+    all fanned across ``config.n_jobs`` worker processes by
+    :func:`repro.experiments.run_replications`.
+    """
+    config = config if config is not None else ScenarioSuiteConfig()
+    scenario_names = config.resolved_scenarios()
+    if not scenario_names:
+        raise ValueError("no scenarios selected")
+    specs = config.resolved_methods(config.seed)
+    if not specs:
+        raise ValueError("need at least one method spec")
+
+    scenario_records: Dict[str, Dict[str, object]] = {}
+    for scenario_name in scenario_names:
+        scenario = build_scenario(scenario_name, dims=config.dims)
+        severities = tuple(
+            config.severities if config.severities is not None else scenario.default_severities
+        )
+        if not severities:
+            raise ValueError("need at least one severity")
+        severities = tuple(scenario.check_severity(s) for s in severities)
+
+        cells: List[ScenarioCellResult] = []
+        for severity in severities:
+
+            def build_protocol(replication: int, replication_seed: int, _severity=severity):
+                cell = scenario.build(
+                    config.num_samples, _severity, seed=replication_seed % (2 ** 31)
+                )
+                return cell.as_protocol()
+
+            per_replication = run_replications(
+                specs,
+                build_protocol,
+                replications=config.replications,
+                seed=config.seed,
+                n_jobs=config.n_jobs,
+            )
+            for index, spec in enumerate(specs):
+                method_results = [results[index] for results in per_replication]
+                cells.append(
+                    _aggregate_cell(scenario_name, severity, spec.name, method_results)
+                )
+
+        degradation: Dict[str, Dict[str, float]] = {}
+        for spec in specs:
+            rows = [cell for cell in cells if cell.method == spec.name]
+            rows.sort(key=lambda cell: cell.severity)
+            degradation[spec.name] = {
+                "pehe_slope": degradation_slope(
+                    [cell.severity for cell in rows], [cell.pehe_mean for cell in rows]
+                ),
+                "ate_error_slope": degradation_slope(
+                    [cell.severity for cell in rows], [cell.ate_error_mean for cell in rows]
+                ),
+                "pehe_at_zero": rows[0].pehe_mean,
+                "pehe_at_max": rows[-1].pehe_mean,
+            }
+
+        scenario_records[scenario_name] = {
+            "description": scenario.describe(),
+            "severities": list(severities),
+            "cells": [cell.as_dict() for cell in cells],
+            "degradation": degradation,
+        }
+
+    return {
+        "benchmark": "scenario-matrix",
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "suite": {
+            "num_samples": config.num_samples,
+            "replications": config.replications,
+            "n_jobs": config.n_jobs,
+            "seed": config.seed,
+            "scale": config.scale,
+            "dims": list(config.dims),
+            "methods": [spec.name for spec in specs],
+            "scenarios": scenario_names,
+        },
+        "scenarios": scenario_records,
+    }
+
+
+def format_scenario_suite(result: Mapping[str, object]) -> str:
+    """Human-readable tables: one per scenario plus a degradation summary."""
+    sections: List[str] = []
+    for name, record in result["scenarios"].items():
+        rows = [
+            [
+                cell["method"],
+                cell["severity"],
+                cell["pehe_mean"],
+                cell["ate_error_mean"],
+                cell["training_seconds"],
+            ]
+            for cell in record["cells"]
+        ]
+        sections.append(
+            format_table(
+                ["method", "severity", "PEHE", "ATE bias", "train s"],
+                rows,
+                title=f"Scenario: {name} ({record['description']['axis']})",
+            )
+        )
+    summary_rows = [
+        [
+            name,
+            method,
+            slopes["pehe_slope"],
+            slopes["ate_error_slope"],
+            slopes["pehe_at_zero"],
+            slopes["pehe_at_max"],
+        ]
+        for name, record in result["scenarios"].items()
+        for method, slopes in record["degradation"].items()
+    ]
+    sections.append(
+        format_table(
+            ["scenario", "method", "PEHE slope", "ATE slope", "PEHE@0", "PEHE@max"],
+            summary_rows,
+            title="Cross-severity degradation (least-squares slope vs severity)",
+        )
+    )
+    return "\n".join(sections)
+
+
+def write_scenario_suite(result: Mapping[str, object], path: str) -> str:
+    """Write the suite record as pretty-printed JSON; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    return path

@@ -1,9 +1,9 @@
 """Unified component registry for every pluggable piece of the library.
 
-One generic :class:`Registry` class backs four global registries —
-:data:`backbones`, :data:`frameworks`, :data:`regularizers` and
-:data:`benchmarks` — so that user code can extend the library without
-editing ``repro`` internals::
+One generic :class:`Registry` class backs five global registries —
+:data:`backbones`, :data:`frameworks`, :data:`regularizers`,
+:data:`benchmarks` and :data:`scenarios` — so that user code can extend the
+library without editing ``repro`` internals::
 
     from repro import registry
     from repro.core.backbones import BaseBackbone
@@ -41,6 +41,7 @@ __all__ = [
     "frameworks",
     "regularizers",
     "benchmarks",
+    "scenarios",
 ]
 
 
@@ -244,3 +245,7 @@ regularizers = Registry("regularizer")
 
 #: Benchmark dataset builders ``(num_samples, seed) -> protocol dict``.
 benchmarks = Registry("benchmark")
+
+#: Stress-test scenario classes (:class:`repro.scenarios.Scenario` subclasses)
+#: perturbing the paper's data-generating process along named axes.
+scenarios = Registry("scenario")

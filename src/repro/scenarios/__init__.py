@@ -1,0 +1,45 @@
+"""Scenario-matrix stress tests: named perturbations of the paper's DGP.
+
+See :mod:`repro.scenarios.base` for the abstraction and
+:mod:`repro.scenarios.library` for the built-in axes.  Scenarios are
+registered in :data:`repro.registry.scenarios`; run the full matrix with
+``repro scenarios`` or :func:`repro.experiments.run_scenario_suite`.
+"""
+
+from .base import (
+    BASE_DIMS,
+    BASE_TEST_RHOS,
+    BASE_TRAIN_RHO,
+    DEFAULT_SEVERITIES,
+    Scenario,
+    ScenarioProtocol,
+    available_scenarios,
+    build_scenario,
+    rebuild_dataset,
+)
+from .library import (
+    HiddenConfoundingScenario,
+    LabelFlipScenario,
+    NonlinearOutcomeScenario,
+    OutcomeNoiseScenario,
+    OverlapViolationScenario,
+    SparseHighDimScenario,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioProtocol",
+    "available_scenarios",
+    "build_scenario",
+    "rebuild_dataset",
+    "DEFAULT_SEVERITIES",
+    "BASE_DIMS",
+    "BASE_TEST_RHOS",
+    "BASE_TRAIN_RHO",
+    "OverlapViolationScenario",
+    "HiddenConfoundingScenario",
+    "OutcomeNoiseScenario",
+    "SparseHighDimScenario",
+    "NonlinearOutcomeScenario",
+    "LabelFlipScenario",
+]

@@ -1,0 +1,428 @@
+"""The built-in scenario matrix: six perturbation axes of the paper's DGP.
+
+Each scenario keeps the paper's biased-sampling environment mechanism (the
+train population is the ``rho = 2.5`` biased selection, test environments
+cover both shift directions) and perturbs exactly one aspect of the
+data-generating process, parameterised by ``severity`` in ``[0, 1]``:
+
+===================  ========================================================
+``overlap``          treatment logits sharpened so propensities concentrate
+                     at 0/1 (positivity / overlap violation)
+``hidden-confounding``  a severity-dependent share of the confounder block is
+                     withheld from the observed covariates
+``outcome-noise``    continuous outcomes with heteroscedastic, heavy-tailed
+                     (Student-t) noise of severity-dependent tail weight
+``sparse-highdim``   severity-many sparse nuisance covariates appended to X
+``nonlinear``        the outcome surfaces interpolate from the linear latent
+                     to a sine/interaction surface
+``flip-noise``       training-side label noise: recorded treatments and
+                     observed outcomes flipped with severity-scaled rates
+===================  ========================================================
+
+Severity 0 is always the benign end of the axis; the DGP invariants of every
+scenario (bounds actually violated, withheld columns absent, ...) are pinned
+in ``tests/test_scenarios.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..data.dataset import CausalDataset
+from ..registry import scenarios as SCENARIO_REGISTRY
+from .base import BASE_DIMS, Scenario, ScenarioProtocol, rebuild_dataset
+
+__all__ = [
+    "OverlapViolationScenario",
+    "HiddenConfoundingScenario",
+    "OutcomeNoiseScenario",
+    "SparseHighDimScenario",
+    "NonlinearOutcomeScenario",
+    "LabelFlipScenario",
+]
+
+
+@SCENARIO_REGISTRY.register(
+    "overlap",
+    aliases=("positivity", "overlap-violation"),
+    display_name="Overlap violation",
+    metadata={"axis": "propensity pushed toward 0/1"},
+)
+class OverlapViolationScenario(Scenario):
+    """Positivity violation: propensities concentrate at 0 and 1.
+
+    Treatment is re-drawn in every population with the systematic logits
+    multiplied by ``1 + severity * (logit_scale - 1)``; at severity 1 the
+    logits are ten times steeper, so a growing share of units has a
+    propensity outside ``[eta, 1 - eta]`` — the classical overlap
+    assumption is violated by construction.  Observed outcomes are
+    recomputed under the re-drawn treatment.
+    """
+
+    name = "overlap"
+    axis = "propensity pushed toward 0/1"
+    logit_scale: float = 10.0
+    #: The overlap band used for reporting: a unit "violates" positivity
+    #: when its propensity leaves ``[eta, 1 - eta]``.
+    eta: float = 0.05
+
+    def build(self, num_samples: int, severity: float, seed: int) -> ScenarioProtocol:
+        severity = self.check_severity(severity)
+        protocol = self.base_protocol(num_samples, seed)
+        generator = self.make_generator(seed)
+        scale = 1.0 + severity * (self.logit_scale - 1.0)
+        rng = np.random.default_rng(seed + 77_001)
+        # Keyed by protocol role ("train" / test-environment name) rather
+        # than dataset.environment: the train population carries the same
+        # label as the aligned test environment.
+        propensities: Dict[str, np.ndarray] = {}
+
+        def sharpen(dataset: CausalDataset, key: str) -> CausalDataset:
+            logits = scale * (
+                generator.systematic_treatment_logits(dataset.covariates)
+                + rng.normal(0.0, generator.config.treatment_noise_scale, size=len(dataset))
+            )
+            propensity = 1.0 / (1.0 + np.exp(-np.clip(logits, -60.0, 60.0)))
+            treatment = (rng.uniform(size=len(dataset)) < propensity).astype(np.float64)
+            # Degenerate draws (an empty arm) would make the stratified
+            # machinery unusable; force one unit into the empty arm, which
+            # is exactly what an analyst facing positivity violation does.
+            if treatment.sum() == 0.0:
+                treatment[np.argmax(propensity)] = 1.0
+            if treatment.sum() == len(treatment):
+                treatment[np.argmin(propensity)] = 0.0
+            outcome = treatment * dataset.mu1 + (1.0 - treatment) * dataset.mu0
+            propensities[key] = propensity
+            return rebuild_dataset(dataset, treatment=treatment, outcome=outcome)
+
+        train = sharpen(protocol["train"], "train")
+        tests = {
+            f"rho={rho:g}": sharpen(dataset, f"rho={rho:g}")
+            for rho, dataset in protocol["test_environments"].items()
+        }
+        return ScenarioProtocol(
+            scenario=self.name,
+            severity=severity,
+            train=train,
+            test_environments=tests,
+            metadata={
+                "logit_scale": scale,
+                "eta": self.eta,
+                "propensities": propensities,
+                "violation_fraction": {
+                    name: float(np.mean((p < self.eta) | (p > 1.0 - self.eta)))
+                    for name, p in propensities.items()
+                },
+            },
+        )
+
+
+@SCENARIO_REGISTRY.register(
+    "hidden-confounding",
+    aliases=("hidden", "unobserved-confounding"),
+    display_name="Hidden confounding",
+    metadata={"axis": "confounders withheld from X"},
+)
+class HiddenConfoundingScenario(Scenario):
+    """A severity-dependent share of the confounder block is unobserved.
+
+    The structural model is unchanged — treatment and outcomes are still
+    driven by every confounder — but ``ceil(severity * m_C)`` confounder
+    columns are withheld from the covariates handed to the estimator, in
+    the training population *and* every test environment.
+    """
+
+    name = "hidden-confounding"
+    axis = "confounders withheld from X"
+
+    def withheld_count(self, severity: float) -> int:
+        num_confounders = self.dims[1]
+        if severity == 0.0:
+            return 0
+        return max(1, int(np.ceil(severity * num_confounders)))
+
+    def build(self, num_samples: int, severity: float, seed: int) -> ScenarioProtocol:
+        severity = self.check_severity(severity)
+        protocol = self.base_protocol(num_samples, seed)
+        train: CausalDataset = protocol["train"]
+        roles = train.feature_roles
+        num_hidden = self.withheld_count(severity)
+        rng = np.random.default_rng(seed + 77_002)
+        withheld = np.sort(rng.choice(roles["confounder"], size=num_hidden, replace=False))
+
+        keep = np.setdiff1d(np.arange(train.num_features), withheld)
+        # Old column index -> position in the reduced covariate matrix.
+        position = {int(old): new for new, old in enumerate(keep)}
+        new_roles = {
+            role: np.array([position[int(c)] for c in columns if int(c) in position], dtype=int)
+            for role, columns in roles.items()
+        }
+
+        def withhold(dataset: CausalDataset) -> CausalDataset:
+            return rebuild_dataset(
+                dataset, covariates=dataset.covariates[:, keep], feature_roles=new_roles
+            )
+
+        tests = {
+            f"rho={rho:g}": withhold(dataset)
+            for rho, dataset in protocol["test_environments"].items()
+        }
+        return ScenarioProtocol(
+            scenario=self.name,
+            severity=severity,
+            train=withhold(train),
+            test_environments=tests,
+            metadata={
+                "withheld_columns": withheld,
+                "num_original_features": train.num_features,
+                "num_observed_features": int(len(keep)),
+            },
+        )
+
+
+@SCENARIO_REGISTRY.register(
+    "outcome-noise",
+    aliases=("heavy-tails", "heteroscedastic"),
+    display_name="Heteroscedastic heavy-tailed noise",
+    metadata={"axis": "Student-t outcome noise, covariate-scaled"},
+)
+class OutcomeNoiseScenario(Scenario):
+    """Continuous outcomes with heteroscedastic, heavy-tailed noise.
+
+    Potential outcomes are the generator's continuous latent scores (so the
+    PEHE ground truth stays noiseless); the *observed* outcome adds
+    Student-t noise whose degrees of freedom fall from ``df_benign`` to
+    ``df_severe`` and whose scale grows with the first adjustment
+    covariate's magnitude — jointly stressing squared-error fitting.
+    """
+
+    name = "outcome-noise"
+    axis = "Student-t outcome noise, covariate-scaled"
+    base_scale: float = 0.2
+    hetero_gain: float = 3.0
+    df_benign: float = 30.0
+    df_severe: float = 2.5
+
+    def noise_df(self, severity: float) -> float:
+        return self.df_benign + severity * (self.df_severe - self.df_benign)
+
+    def build(self, num_samples: int, severity: float, seed: int) -> ScenarioProtocol:
+        severity = self.check_severity(severity)
+        protocol = self.base_protocol(num_samples, seed)
+        generator = self.make_generator(seed)
+        rng = np.random.default_rng(seed + 77_003)
+        df = self.noise_df(severity)
+        # Keyed by protocol role, not dataset.environment (see overlap).
+        noise_record: Dict[str, np.ndarray] = {}
+
+        def continuify(dataset: CausalDataset, key: str) -> CausalDataset:
+            mu0, mu1 = generator.latent_outcome_scores(dataset.covariates)
+            driver = dataset.covariates[:, dataset.feature_roles["adjustment"][0]]
+            sigma = self.base_scale * (1.0 + self.hetero_gain * severity * np.abs(driver))
+            eps = rng.standard_t(df, size=len(dataset))
+            noise = sigma * eps
+            outcome = np.where(dataset.treatment == 1.0, mu1, mu0) + noise
+            noise_record[key] = noise
+            return rebuild_dataset(
+                dataset, outcome=outcome, mu0=mu0, mu1=mu1, binary_outcome=False
+            )
+
+        train = continuify(protocol["train"], "train")
+        tests = {
+            f"rho={rho:g}": continuify(dataset, f"rho={rho:g}")
+            for rho, dataset in protocol["test_environments"].items()
+        }
+        return ScenarioProtocol(
+            scenario=self.name,
+            severity=severity,
+            train=train,
+            test_environments=tests,
+            metadata={
+                "noise_df": df,
+                "base_scale": self.base_scale,
+                "hetero_gain": self.hetero_gain * severity,
+                "noise": noise_record,
+            },
+        )
+
+
+@SCENARIO_REGISTRY.register(
+    "sparse-highdim",
+    aliases=("highdim", "sparse"),
+    display_name="High-dimensional sparse covariates",
+    metadata={"axis": "sparse nuisance covariates appended to X"},
+)
+class SparseHighDimScenario(Scenario):
+    """Severity-many sparse nuisance covariates are appended to X.
+
+    The nuisance block is pure noise (affects neither treatment nor
+    outcome) and sparse — each entry is non-zero with probability
+    ``density`` — so at full severity the estimator faces a covariate
+    matrix several times wider than the causal one, most of it zeros.
+    """
+
+    name = "sparse-highdim"
+    axis = "sparse nuisance covariates appended to X"
+    max_extra_features: int = 64
+    density: float = 0.1
+
+    def extra_count(self, severity: float) -> int:
+        return int(round(severity * self.max_extra_features))
+
+    def build(self, num_samples: int, severity: float, seed: int) -> ScenarioProtocol:
+        severity = self.check_severity(severity)
+        protocol = self.base_protocol(num_samples, seed)
+        num_extra = self.extra_count(severity)
+        rng = np.random.default_rng(seed + 77_004)
+
+        def widen(dataset: CausalDataset) -> CausalDataset:
+            if num_extra == 0:
+                return dataset
+            mask = rng.uniform(size=(len(dataset), num_extra)) < self.density
+            values = rng.normal(0.0, 1.0, size=(len(dataset), num_extra)) / np.sqrt(self.density)
+            nuisance = np.where(mask, values, 0.0)
+            covariates = np.hstack([dataset.covariates, nuisance])
+            roles = dict(dataset.feature_roles)
+            roles["nuisance"] = np.arange(
+                dataset.num_features, dataset.num_features + num_extra
+            )
+            return rebuild_dataset(dataset, covariates=covariates, feature_roles=roles)
+
+        train = widen(protocol["train"])
+        tests = {
+            f"rho={rho:g}": widen(dataset)
+            for rho, dataset in protocol["test_environments"].items()
+        }
+        return ScenarioProtocol(
+            scenario=self.name,
+            severity=severity,
+            train=train,
+            test_environments=tests,
+            metadata={
+                "num_extra_features": num_extra,
+                "density": self.density,
+                "num_base_features": int(protocol["train"].num_features),
+            },
+        )
+
+
+@SCENARIO_REGISTRY.register(
+    "nonlinear",
+    aliases=("nonlinear-outcome",),
+    display_name="Nonlinear outcome surfaces",
+    metadata={"axis": "outcome surface interpolates linear -> sine/interactions"},
+)
+class NonlinearOutcomeScenario(Scenario):
+    """The outcome surfaces bend from the latent scores to a sine surface.
+
+    ``mu_t = (1 - severity) * z_t + severity * g_t(x)`` with ``g_t``
+    combining a sine of the latent score with a first-order interaction of
+    the leading confounder and adjustment covariates — so at severity 1 a
+    linear-in-representation outcome head is badly misspecified.  Outcomes
+    are continuous with a small homoscedastic Gaussian noise.
+    """
+
+    name = "nonlinear"
+    axis = "outcome surface interpolates linear -> sine/interactions"
+    observation_noise: float = 0.1
+    sine_frequency: float = 3.0
+
+    def build(self, num_samples: int, severity: float, seed: int) -> ScenarioProtocol:
+        severity = self.check_severity(severity)
+        protocol = self.base_protocol(num_samples, seed)
+        generator = self.make_generator(seed)
+        rng = np.random.default_rng(seed + 77_005)
+
+        def bend(dataset: CausalDataset) -> CausalDataset:
+            z0, z1 = generator.latent_outcome_scores(dataset.covariates)
+            roles = dataset.feature_roles
+            confounder = dataset.covariates[:, roles["confounder"][0]]
+            adjustment = dataset.covariates[:, roles["adjustment"][0]]
+            interaction = confounder * adjustment
+            g0 = np.sin(self.sine_frequency * z0) + 0.5 * np.tanh(interaction)
+            g1 = np.sin(self.sine_frequency * z1) - 0.5 * np.tanh(interaction)
+            mu0 = (1.0 - severity) * z0 + severity * g0
+            mu1 = (1.0 - severity) * z1 + severity * g1
+            outcome = (
+                np.where(dataset.treatment == 1.0, mu1, mu0)
+                + rng.normal(0.0, self.observation_noise, size=len(dataset))
+            )
+            return rebuild_dataset(
+                dataset, outcome=outcome, mu0=mu0, mu1=mu1, binary_outcome=False
+            )
+
+        train = bend(protocol["train"])
+        tests = {
+            f"rho={rho:g}": bend(dataset)
+            for rho, dataset in protocol["test_environments"].items()
+        }
+        return ScenarioProtocol(
+            scenario=self.name,
+            severity=severity,
+            train=train,
+            test_environments=tests,
+            metadata={
+                "sine_frequency": self.sine_frequency,
+                "mixing_weight": severity,
+            },
+        )
+
+
+@SCENARIO_REGISTRY.register(
+    "flip-noise",
+    aliases=("label-noise", "treatment-flips"),
+    display_name="Treatment/outcome flip noise",
+    metadata={"axis": "training labels flipped at severity-scaled rates"},
+)
+class LabelFlipScenario(Scenario):
+    """Training-side label corruption at severity-scaled flip rates.
+
+    With probability ``severity * max_flip_rate`` each *recorded* training
+    treatment is flipped (the observed outcome remains the one generated
+    under the true treatment — classic treatment misclassification), and
+    independently each observed training outcome is flipped.  Test
+    environments stay clean, so the evaluation isolates how corrupted
+    supervision degrades the estimator.
+    """
+
+    name = "flip-noise"
+    axis = "training labels flipped at severity-scaled rates"
+    max_flip_rate: float = 0.25
+
+    def flip_rate(self, severity: float) -> float:
+        return severity * self.max_flip_rate
+
+    def build(self, num_samples: int, severity: float, seed: int) -> ScenarioProtocol:
+        severity = self.check_severity(severity)
+        protocol = self.base_protocol(num_samples, seed)
+        train: CausalDataset = protocol["train"]
+        rate = self.flip_rate(severity)
+        rng = np.random.default_rng(seed + 77_006)
+
+        treatment_flips = rng.uniform(size=len(train)) < rate
+        outcome_flips = rng.uniform(size=len(train)) < rate
+        treatment = np.where(treatment_flips, 1.0 - train.treatment, train.treatment)
+        outcome = np.where(outcome_flips, 1.0 - train.outcome, train.outcome)
+        # Guard against a flipped-away treatment arm on tiny populations.
+        if treatment.sum() == 0.0 or treatment.sum() == len(treatment):
+            treatment = train.treatment.copy()
+            treatment_flips = np.zeros(len(train), dtype=bool)
+        noisy_train = rebuild_dataset(train, treatment=treatment, outcome=outcome)
+
+        tests = {
+            f"rho={rho:g}": dataset
+            for rho, dataset in protocol["test_environments"].items()
+        }
+        return ScenarioProtocol(
+            scenario=self.name,
+            severity=severity,
+            train=noisy_train,
+            test_environments=tests,
+            metadata={
+                "flip_rate": rate,
+                "treatment_flips": treatment_flips,
+                "outcome_flips": outcome_flips,
+            },
+        )

@@ -62,6 +62,33 @@ class TestCommands:
         # clobbered by --smoke.
         assert not args.smoke and args.batch_size is None and args.n_jobs is None
 
+    def test_scenarios_defaults(self):
+        args = build_parser().parse_args(["scenarios"])
+        assert not args.smoke
+        assert args.scenario_names is None and args.severities is None
+        assert args.replications == 1 and args.n_jobs == 1
+
+    def test_scenarios_smoke_writes_json(self, capsys, tmp_path):
+        import json
+
+        output = str(tmp_path / "scenarios.json")
+        assert main([
+            "scenarios", "--smoke", "--scenario", "overlap",
+            "--num-samples", "150", "--output", output,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario: overlap" in out and "degradation" in out and "wrote" in out
+        record = json.loads(open(output).read())
+        assert record["benchmark"] == "scenario-matrix"
+        assert record["scenarios"]["overlap"]["severities"] == [0.0, 1.0]
+        assert set(record["scenarios"]["overlap"]["degradation"]) == {"CFR", "CFR+SBRL-HAP"}
+
+    def test_scenarios_rejects_unknown_scenario(self):
+        from repro.registry import UnknownComponentError
+
+        with pytest.raises(UnknownComponentError):
+            main(["scenarios", "--smoke", "--scenario", "no-such-axis", "--num-samples", "80"])
+
     def test_train_bench_smoke_writes_json(self, capsys, tmp_path):
         import json
 

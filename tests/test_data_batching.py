@@ -58,8 +58,41 @@ class TestStratifiedBatchSampler:
         with pytest.raises(ValueError):
             StratifiedBatchSampler(_treatment(10, 10), batch_size=0)
 
+    def test_rejects_batch_size_one(self):
+        # A single-unit batch cannot contain both treatment arms; this must
+        # be a loud contradiction, not a silently widened batch.
+        with pytest.raises(ValueError, match="at least 2"):
+            StratifiedBatchSampler(_treatment(10, 10), batch_size=1)
+
+    def test_single_unit_treatment_arm(self):
+        treatment = _treatment(1, 99)
+        sampler = StratifiedBatchSampler(treatment, batch_size=10, seed=0)
+        # The minority arm caps the epoch at one batch holding everything.
+        assert len(sampler) == 1
+        for _ in range(3):
+            (batch,) = sampler.epoch()
+            np.testing.assert_array_equal(np.sort(batch), np.arange(100))
+            assert treatment[batch].sum() == 1
+
+    def test_batch_size_larger_than_population(self):
+        treatment = _treatment(5, 15)
+        sampler = StratifiedBatchSampler(treatment, batch_size=64, seed=0)
+        assert len(sampler) == 1
+        (batch,) = sampler.epoch()
+        np.testing.assert_array_equal(np.sort(batch), np.arange(20))
+
 
 class TestDataLoader:
+    def test_rejects_batch_size_one(self, small_train):
+        with pytest.raises(ValueError, match="at least 2"):
+            DataLoader(small_train, batch_size=1)
+
+    def test_batch_size_larger_than_dataset_yields_one_batch(self, small_train):
+        loader = DataLoader(small_train, batch_size=10 * len(small_train), seed=0)
+        batches = list(loader)
+        assert len(batches) == 1
+        assert len(batches[0]) == len(small_train)
+
     def test_full_batch_mode(self, small_train):
         loader = DataLoader(small_train, batch_size=None)
         batches = list(loader)

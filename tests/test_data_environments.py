@@ -57,6 +57,20 @@ class TestProbabilities:
         with pytest.raises(ValueError):
             biased_sampling_probabilities(dataset, rho=2.5, columns=[])
 
+    @pytest.mark.parametrize("rho", [1.0, -1.0, 0.5, 0.0, -0.3])
+    def test_rejects_rho_magnitude_at_most_one(self, dataset, rho):
+        with pytest.raises(ValueError, match="rho"):
+            biased_sampling_probabilities(dataset, rho=rho, columns=[3])
+
+    @pytest.mark.parametrize("columns", [[4], [-1], [0, 99], [2, -5]])
+    def test_rejects_out_of_range_columns(self, dataset, columns):
+        with pytest.raises(ValueError, match="out of range"):
+            biased_sampling_probabilities(dataset, rho=2.5, columns=columns)
+
+    def test_rejects_non_1d_columns(self, dataset):
+        with pytest.raises(ValueError, match="1-D"):
+            biased_sampling_probabilities(dataset, rho=2.5, columns=[[0, 1]])
+
 
 class TestSubsampleAndSplit:
     def test_subsample_size_and_environment_label(self, dataset):

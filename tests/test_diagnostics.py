@@ -39,6 +39,67 @@ class TestDomainClassifierAUC:
         with pytest.raises(ValueError):
             domain_classifier_auc(rng.normal(size=(10, 3)), rng.normal(size=(10, 4)))
 
+    def test_rejects_empty_populations(self, rng):
+        rows = rng.normal(size=(10, 3))
+        empty = np.empty((0, 3))
+        with pytest.raises(ValueError, match="at least one row"):
+            domain_classifier_auc(empty, rows)
+        with pytest.raises(ValueError, match="at least one row"):
+            domain_classifier_auc(rows, empty)
+
+    def test_constant_covariates_are_chance_level(self):
+        # Identical constant rows: the domain classifier cannot separate
+        # anything, every score ties, and the folded AUC is exactly 0.5.
+        source = np.zeros((50, 4))
+        target = np.zeros((60, 4))
+        assert domain_classifier_auc(source, target, seed=0) == pytest.approx(0.5)
+
+
+class TestAUCDegenerateInputs:
+    def test_constant_scores_give_half(self):
+        from repro.diagnostics.ood import _auc
+
+        scores = np.full(40, 0.7)
+        labels = np.concatenate([np.zeros(25), np.ones(15)])
+        assert _auc(scores, labels) == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("labels", [np.zeros(20), np.ones(20)])
+    def test_single_class_labels_raise(self, labels):
+        from repro.diagnostics.ood import _auc
+
+        with pytest.raises(ValueError, match="single-class"):
+            _auc(np.linspace(0, 1, 20), labels)
+
+    def test_non_binary_labels_raise(self):
+        from repro.diagnostics.ood import _auc
+
+        with pytest.raises(ValueError, match="binary"):
+            _auc(np.linspace(0, 1, 4), np.array([0.0, 1.0, 2.0, 1.0]))
+
+    def test_mismatched_lengths_raise(self):
+        from repro.diagnostics.ood import _auc
+
+        with pytest.raises(ValueError, match="same length"):
+            _auc(np.linspace(0, 1, 5), np.array([0.0, 1.0]))
+
+    def test_perfect_separation(self):
+        from repro.diagnostics.ood import _auc
+
+        scores = np.concatenate([np.zeros(10), np.ones(10)])
+        labels = np.concatenate([np.zeros(10), np.ones(10)])
+        assert _auc(scores, labels) == pytest.approx(1.0)
+
+
+class TestMomentShiftDegenerateInputs:
+    def test_rejects_empty_populations(self, rng):
+        with pytest.raises(ValueError, match="at least one row"):
+            moment_shift_score(np.empty((0, 3)), rng.normal(size=(10, 3)))
+
+    def test_constant_features_zero_shift(self):
+        source = np.ones((30, 3))
+        target = np.ones((40, 3))
+        assert moment_shift_score(source, target)["aggregate"] == pytest.approx(0.0)
+
 
 class TestMomentShift:
     def test_zero_for_identical(self, rng):

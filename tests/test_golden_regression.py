@@ -1,0 +1,111 @@
+"""Golden-value regression test: pinned end-to-end SBRL-HAP metrics.
+
+Trains CFR+SBRL-HAP on a fixed-seed small synthetic protocol through both
+execution paths — the historical full-batch path and the stratified
+minibatch path — and pins PEHE / ATE-error on both test environments to
+values recorded at the time this test was written.  Every layer of the
+stack (generator, autodiff, backbones, regularizers, training loop,
+evaluation) feeds these four numbers, so *any* silent numeric drift in a
+future refactor fails loudly here.
+
+If a change is *supposed* to alter numerics (a new initialisation scheme, a
+reworked regularizer), re-record the constants in the same commit and say
+so in the commit message; this test exists to make that an explicit
+decision instead of an accident.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import BackboneConfig, RegularizerConfig, SBRLConfig, TrainingConfig
+from repro.core.estimator import HTEEstimator
+from repro.data.synthetic import SyntheticConfig, SyntheticGenerator
+
+# The run is bit-deterministic on one machine; the tolerance only absorbs
+# BLAS reassociation differences across platforms.  Real drift (changed
+# update order, different initialisation, a reworked loss) moves these
+# metrics by far more than 1e-5 relative.
+RTOL = 1e-5
+
+#: metrics[batch_size][environment] = (pehe, ate_error), recorded 2026-07
+#: with the configuration below (seed 11, 240 units, 30 iterations).
+GOLDEN = {
+    None: {
+        "2.5": (0.5119110428346364, 0.010184397670848826),
+        "-2.5": (0.7791270217498834, 0.1156092858278791),
+    },
+    64: {
+        "2.5": (0.48221499987656224, 0.005507902487405526),
+        "-2.5": (0.8142823801178696, 0.08249707006791324),
+    },
+}
+
+
+def _golden_config(batch_size):
+    return SBRLConfig(
+        backbone=BackboneConfig(rep_layers=2, rep_units=12, head_layers=2, head_units=8),
+        regularizers=RegularizerConfig(
+            alpha=1e-2,
+            gamma1=1.0,
+            gamma2=1e-2,
+            gamma3=1e-2,
+            max_pairs_per_layer=6,
+            subsample_threshold=64,
+            num_anchors=32,
+        ),
+        training=TrainingConfig(
+            iterations=30,
+            learning_rate=1e-2,
+            weight_update_every=5,
+            weight_steps_per_iteration=1,
+            evaluation_interval=10,
+            early_stopping_patience=None,
+            seed=0,
+            batch_size=batch_size,
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def golden_protocol():
+    generator = SyntheticGenerator(
+        SyntheticConfig(
+            num_instruments=4, num_confounders=4, num_adjustments=4, num_unstable=2, seed=11
+        )
+    )
+    return generator.generate_train_test_protocol(
+        num_samples=240, train_rho=2.5, test_rhos=(2.5, -2.5), seed=11
+    )
+
+
+@pytest.mark.parametrize("batch_size", [None, 64], ids=["full-batch", "minibatch"])
+def test_end_to_end_metrics_are_pinned(golden_protocol, batch_size):
+    estimator = HTEEstimator(
+        backbone="cfr", framework="sbrl-hap", config=_golden_config(batch_size), seed=11
+    )
+    estimator.fit(golden_protocol["train"])
+    for rho, dataset in golden_protocol["test_environments"].items():
+        metrics = estimator.evaluate(dataset)
+        want_pehe, want_ate = GOLDEN[batch_size][f"{rho:g}"]
+        assert metrics["pehe"] == pytest.approx(want_pehe, rel=RTOL), (
+            f"PEHE drifted on rho={rho:g} ({batch_size=}): "
+            f"{metrics['pehe']!r} != {want_pehe!r}"
+        )
+        assert metrics["ate_error"] == pytest.approx(want_ate, rel=RTOL), (
+            f"ATE error drifted on rho={rho:g} ({batch_size=}): "
+            f"{metrics['ate_error']!r} != {want_ate!r}"
+        )
+
+
+def test_golden_run_is_deterministic(golden_protocol):
+    """Two identical fits give byte-identical metrics (the premise above)."""
+    results = []
+    for _ in range(2):
+        estimator = HTEEstimator(
+            backbone="cfr", framework="sbrl-hap", config=_golden_config(None), seed=11
+        )
+        estimator.fit(golden_protocol["train"])
+        dataset = golden_protocol["test_environments"][2.5]
+        results.append(estimator.evaluate(dataset))
+    assert results[0] == results[1]

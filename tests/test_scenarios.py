@@ -1,0 +1,290 @@
+"""DGP-invariant unit tests for every registered stress-test scenario.
+
+Each scenario promises a concrete, checkable perturbation (propensity
+bounds actually violated, withheld confounders actually absent, ...).
+These tests pin those invariants so a scenario can never silently turn
+into a no-op.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.registry import UnknownComponentError, scenarios as SCENARIO_REGISTRY
+from repro.scenarios import (
+    BASE_TEST_RHOS,
+    DEFAULT_SEVERITIES,
+    Scenario,
+    ScenarioProtocol,
+    available_scenarios,
+    build_scenario,
+)
+
+EXPECTED_SCENARIOS = {
+    "overlap",
+    "hidden-confounding",
+    "outcome-noise",
+    "sparse-highdim",
+    "nonlinear",
+    "flip-noise",
+}
+
+N = 400
+SEED = 17
+
+
+@pytest.fixture(scope="module")
+def built():
+    """Every scenario at severities 0 and 1 (module-scoped: builds are cheap
+    but numerous)."""
+    cells = {}
+    for name in available_scenarios():
+        scenario = build_scenario(name)
+        cells[name] = {
+            severity: scenario.build(N, severity, seed=SEED) for severity in (0.0, 1.0)
+        }
+    return cells
+
+
+class TestRegistry:
+    def test_all_builtin_scenarios_registered(self):
+        assert EXPECTED_SCENARIOS <= set(available_scenarios())
+
+    def test_aliases_resolve(self):
+        assert SCENARIO_REGISTRY.resolve("positivity") == "overlap"
+        assert SCENARIO_REGISTRY.resolve("heavy-tails") == "outcome-noise"
+        assert SCENARIO_REGISTRY.resolve("label-noise") == "flip-noise"
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(UnknownComponentError):
+            build_scenario("does-not-exist")
+
+    def test_build_scenario_returns_scenario_instances(self):
+        for name in available_scenarios():
+            scenario = build_scenario(name)
+            assert isinstance(scenario, Scenario)
+            assert scenario.name == name
+            description = scenario.describe()
+            assert description["name"] == name
+            assert description["axis"]
+            assert description["default_severities"] == list(DEFAULT_SEVERITIES)
+
+
+class TestCommonContract:
+    def test_protocol_shape(self, built):
+        for name, cells in built.items():
+            for severity, cell in cells.items():
+                assert isinstance(cell, ScenarioProtocol)
+                assert cell.scenario == name
+                assert cell.severity == severity
+                assert len(cell.train) == N
+                expected_envs = {f"rho={rho:g}" for rho in BASE_TEST_RHOS}
+                assert set(cell.test_environments) == expected_envs
+                protocol = cell.as_protocol()
+                assert protocol["train"] is cell.train
+                # Both treatment arms must be present for the estimators.
+                assert 0 < cell.train.num_treated < len(cell.train)
+
+    def test_train_and_test_share_feature_dimension(self, built):
+        for cells in built.values():
+            for cell in cells.values():
+                for dataset in cell.test_environments.values():
+                    assert dataset.num_features == cell.train.num_features
+
+    @pytest.mark.parametrize("severity", [-0.1, 1.5, 2.0])
+    def test_severity_out_of_range_raises(self, severity):
+        scenario = build_scenario("overlap")
+        with pytest.raises(ValueError, match="severity"):
+            scenario.build(50, severity, seed=0)
+
+    def test_builds_are_deterministic_given_seed(self):
+        scenario = build_scenario("overlap")
+        one = scenario.build(120, 1.0, seed=3)
+        two = scenario.build(120, 1.0, seed=3)
+        np.testing.assert_array_equal(one.train.covariates, two.train.covariates)
+        np.testing.assert_array_equal(one.train.treatment, two.train.treatment)
+        np.testing.assert_array_equal(one.train.outcome, two.train.outcome)
+
+
+class TestOverlapViolation:
+    def test_propensity_bounds_actually_violated(self, built):
+        benign = built["overlap"][0.0].metadata["violation_fraction"]
+        severe = built["overlap"][1.0].metadata["violation_fraction"]
+        for environment in severe:
+            assert severe[environment] > benign[environment]
+        # At full severity the majority of units sit outside [eta, 1 - eta].
+        assert np.mean(list(severe.values())) > 0.5
+
+    def test_propensities_recorded_and_valid(self, built):
+        cell = built["overlap"][1.0]
+        for environment, propensity in cell.metadata["propensities"].items():
+            assert propensity.shape == (N,)
+            assert np.all((propensity >= 0.0) & (propensity <= 1.0))
+
+    def test_outcome_consistent_with_redrawn_treatment(self, built):
+        cell = built["overlap"][1.0]
+        train = cell.train
+        expected = train.treatment * train.mu1 + (1.0 - train.treatment) * train.mu0
+        np.testing.assert_array_equal(train.outcome, expected)
+
+
+class TestHiddenConfounding:
+    def test_withheld_confounders_absent_from_x(self, built):
+        base = built["hidden-confounding"][0.0]
+        severe = built["hidden-confounding"][1.0]
+        withheld = severe.metadata["withheld_columns"]
+        num_confounders = len(base.train.feature_roles["confounder"])
+        assert len(withheld) == num_confounders  # severity 1 hides the whole block
+        assert severe.train.num_features == base.train.num_features - len(withheld)
+        # The remaining covariates are exactly the kept columns of the base.
+        keep = np.setdiff1d(np.arange(base.train.num_features), withheld)
+        np.testing.assert_array_equal(severe.train.covariates, base.train.covariates[:, keep])
+
+    def test_structural_model_unchanged(self, built):
+        base = built["hidden-confounding"][0.0]
+        severe = built["hidden-confounding"][1.0]
+        # Hiding columns must not touch treatment, outcomes or ground truth.
+        np.testing.assert_array_equal(severe.train.treatment, base.train.treatment)
+        np.testing.assert_array_equal(severe.train.outcome, base.train.outcome)
+        np.testing.assert_array_equal(severe.train.mu0, base.train.mu0)
+        np.testing.assert_array_equal(severe.train.mu1, base.train.mu1)
+
+    def test_roles_reindexed_within_bounds(self, built):
+        severe = built["hidden-confounding"][1.0]
+        train = severe.train
+        all_indices = np.concatenate(list(train.feature_roles.values()))
+        assert np.all((all_indices >= 0) & (all_indices < train.num_features))
+        assert len(np.unique(all_indices)) == len(all_indices) == train.num_features
+        assert len(train.feature_roles["confounder"]) == 0
+
+    def test_severity_zero_withholds_nothing(self, built):
+        cell = built["hidden-confounding"][0.0]
+        assert len(cell.metadata["withheld_columns"]) == 0
+        assert cell.train.num_features == cell.metadata["num_original_features"]
+
+
+class TestOutcomeNoise:
+    def test_continuous_outcomes_with_noiseless_ground_truth(self, built):
+        cell = built["outcome-noise"][1.0]
+        assert not cell.train.binary_outcome
+        # mu are the continuous latent scores, not thresholded labels.
+        assert len(np.unique(cell.train.mu0)) > 2
+        assert len(np.unique(cell.train.mu1)) > 2
+        factual = np.where(cell.train.treatment == 1.0, cell.train.mu1, cell.train.mu0)
+        noise = cell.metadata["noise"]["train"]
+        np.testing.assert_allclose(cell.train.outcome, factual + noise)
+
+    def test_tails_heavier_at_full_severity(self):
+        scenario = build_scenario("outcome-noise")
+        assert scenario.noise_df(1.0) < scenario.noise_df(0.0)
+        benign = scenario.build(4000, 0.0, seed=SEED)
+        severe = scenario.build(4000, 1.0, seed=SEED)
+
+        def excess_kurtosis(x: np.ndarray) -> float:
+            x = x - x.mean()
+            return float(np.mean(x ** 4) / np.mean(x ** 2) ** 2 - 3.0)
+
+        noise_benign = benign.metadata["noise"]["train"]
+        noise_severe = severe.metadata["noise"]["train"]
+        assert excess_kurtosis(noise_severe) > excess_kurtosis(noise_benign) + 1.0
+
+    def test_noise_scale_tracks_driver_covariate(self):
+        scenario = build_scenario("outcome-noise")
+        severe = scenario.build(4000, 1.0, seed=SEED)
+        train = severe.train
+        driver = np.abs(train.covariates[:, train.feature_roles["adjustment"][0]])
+        noise = np.abs(severe.metadata["noise"]["train"])
+        correlation = np.corrcoef(driver, noise)[0, 1]
+        assert correlation > 0.15  # heteroscedastic by construction
+
+
+class TestSparseHighDim:
+    def test_feature_count_grows_with_severity(self, built):
+        base = built["sparse-highdim"][0.0]
+        severe = built["sparse-highdim"][1.0]
+        scenario = build_scenario("sparse-highdim")
+        assert severe.metadata["num_extra_features"] == scenario.extra_count(1.0) > 0
+        assert (
+            severe.train.num_features
+            == base.train.num_features + severe.metadata["num_extra_features"]
+        )
+
+    def test_nuisance_block_is_sparse_noise(self, built):
+        severe = built["sparse-highdim"][1.0]
+        train = severe.train
+        nuisance = train.covariates[:, train.feature_roles["nuisance"]]
+        sparsity = float(np.mean(nuisance == 0.0))
+        assert sparsity > 0.8
+        # The causal block is untouched.
+        base = built["sparse-highdim"][0.0]
+        np.testing.assert_array_equal(
+            train.covariates[:, : base.train.num_features], base.train.covariates
+        )
+        np.testing.assert_array_equal(train.outcome, base.train.outcome)
+
+    def test_severity_zero_adds_nothing(self, built):
+        cell = built["sparse-highdim"][0.0]
+        assert cell.metadata["num_extra_features"] == 0
+        assert "nuisance" not in cell.train.feature_roles
+
+
+class TestNonlinearOutcome:
+    @staticmethod
+    def _linear_r2(covariates: np.ndarray, target: np.ndarray) -> float:
+        design = np.column_stack([covariates, np.ones(len(covariates))])
+        coefficients, *_ = np.linalg.lstsq(design, target, rcond=None)
+        residual = target - design @ coefficients
+        return 1.0 - residual.var() / target.var()
+
+    def test_ite_surface_becomes_nonlinear(self):
+        scenario = build_scenario("nonlinear")
+        benign = scenario.build(2000, 0.0, seed=SEED)
+        severe = scenario.build(2000, 1.0, seed=SEED)
+        r2_benign = self._linear_r2(benign.train.covariates, benign.train.mu0)
+        r2_severe = self._linear_r2(severe.train.covariates, severe.train.mu0)
+        assert r2_benign > 0.95  # the benign surface is the linear latent
+        assert r2_severe < r2_benign - 0.2
+
+    def test_outcomes_continuous_and_near_surface(self, built):
+        cell = built["nonlinear"][1.0]
+        train = cell.train
+        assert not train.binary_outcome
+        factual = np.where(train.treatment == 1.0, train.mu1, train.mu0)
+        residual = train.outcome - factual
+        scenario = build_scenario("nonlinear")
+        assert np.std(residual) < 3.0 * scenario.observation_noise
+
+
+class TestLabelFlip:
+    def test_flip_rates_match_metadata(self, built):
+        cell = built["flip-noise"][1.0]
+        base = built["flip-noise"][0.0]
+        flips = cell.metadata["treatment_flips"]
+        disagreement = cell.train.treatment != base.train.treatment
+        np.testing.assert_array_equal(disagreement, flips)
+        scenario = build_scenario("flip-noise")
+        rate = scenario.flip_rate(1.0)
+        assert flips.mean() == pytest.approx(rate, abs=0.08)
+        assert cell.metadata["outcome_flips"].mean() == pytest.approx(rate, abs=0.08)
+
+    def test_severity_zero_flips_nothing(self, built):
+        cell = built["flip-noise"][0.0]
+        assert cell.metadata["flip_rate"] == 0.0
+        assert not cell.metadata["treatment_flips"].any()
+        assert not cell.metadata["outcome_flips"].any()
+
+    def test_test_environments_stay_clean(self, built):
+        # Corruption is training-side only; evaluation data is untouched.
+        severe = built["flip-noise"][1.0]
+        base = built["flip-noise"][0.0]
+        for name, dataset in severe.test_environments.items():
+            clean = base.test_environments[name]
+            np.testing.assert_array_equal(dataset.treatment, clean.treatment)
+            np.testing.assert_array_equal(dataset.outcome, clean.outcome)
+
+    def test_ground_truth_unchanged(self, built):
+        severe = built["flip-noise"][1.0]
+        base = built["flip-noise"][0.0]
+        np.testing.assert_array_equal(severe.train.mu0, base.train.mu0)
+        np.testing.assert_array_equal(severe.train.mu1, base.train.mu1)
