@@ -28,11 +28,32 @@ _SRC = os.path.abspath(os.path.join(os.path.dirname(os.path.abspath(__file__)), 
 if os.path.isdir(_SRC) and _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
+from repro.experiments.perf_gate import check_perf_regression  # noqa: E402
 from repro.experiments.training_benchmark import (  # noqa: E402
     benchmark_training,
     format_benchmark,
     write_benchmark,
 )
+
+
+def check_regression(result: dict, baseline_path: str) -> int:
+    """Gate this benchmark's smoke timings against a committed baseline."""
+    return check_perf_regression(
+        result,
+        baseline_path,
+        (
+            (
+                "full-batch seconds",
+                lambda record: record["minibatch"]["full_batch"]["seconds"],
+                "full_batch_seconds",
+            ),
+            (
+                "minibatch seconds",
+                lambda record: record["minibatch"]["minibatch"]["seconds"],
+                "minibatch_seconds",
+            ),
+        ),
+    )
 
 
 def main(argv=None) -> int:
@@ -44,6 +65,12 @@ def main(argv=None) -> int:
     parser.add_argument("--batch-size", type=int, default=None, help="default: 256 (128 with --smoke)")
     parser.add_argument("--n-jobs", type=int, default=None, help="default: 4 (2 with --smoke)")
     parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        metavar="BASELINE_JSON",
+        help="fail on a >2x step-time regression against this committed record",
+    )
     parser.add_argument(
         "--output",
         default=os.path.join(os.path.dirname(_SRC), "BENCH_training.json"),
@@ -61,6 +88,8 @@ def main(argv=None) -> int:
     print(format_benchmark(result))
     path = write_benchmark(result, args.output)
     print(f"\nwrote {path}")
+    if args.check_against is not None:
+        return check_regression(result, args.check_against)
     return 0
 
 

@@ -131,6 +131,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="write the JSON record to this path"
     )
 
+    autodiff_bench = subparsers.add_parser(
+        "bench-autodiff",
+        help="benchmark the autodiff engine: fused kernels, compiled serving, dtype",
+    )
+    autodiff_bench.add_argument("--smoke", action="store_true", help="seconds-scale run")
+    autodiff_bench.add_argument("--num-samples", type=int, default=None, help="default: 4000 (600 with --smoke)")
+    autodiff_bench.add_argument("--iterations", type=int, default=None, help="default: 40 (4 with --smoke)")
+    autodiff_bench.add_argument("--seed", type=int, default=2024)
+    autodiff_bench.add_argument(
+        "--output", default=None, help="write the JSON record to this path"
+    )
+
     scenarios = subparsers.add_parser(
         "scenarios",
         help="run the scenario-matrix stress test (scenario x severity x method)",
@@ -349,6 +361,25 @@ def _command_train_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench_autodiff(args: argparse.Namespace) -> int:
+    from .experiments.autodiff_benchmark import (
+        benchmark_autodiff,
+        format_autodiff_benchmark,
+        write_benchmark,
+    )
+
+    result = benchmark_autodiff(
+        smoke=args.smoke,
+        num_samples=args.num_samples,
+        iterations=args.iterations,
+        seed=args.seed,
+    )
+    print(format_autodiff_benchmark(result))
+    if args.output is not None:
+        print(f"wrote {write_benchmark(result, args.output)}")
+    return 0
+
+
 def _command_scenarios(args: argparse.Namespace) -> int:
     from .experiments.scenario_suite import (
         ScenarioSuiteConfig,
@@ -382,6 +413,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "predict": _command_predict,
     "serve-bench": _command_serve_bench,
     "train-bench": _command_train_bench,
+    "bench-autodiff": _command_bench_autodiff,
     "scenarios": _command_scenarios,
 }
 

@@ -22,7 +22,7 @@ import numpy as np
 
 from ...nn import functional as F
 from ...nn.modules import MLP, Module, RepresentationNetwork
-from ...nn.tensor import Tensor, as_tensor, no_grad
+from ...nn.tensor import Tensor, as_tensor, get_default_dtype, no_grad
 from ..config import BackboneConfig, RegularizerConfig
 
 __all__ = ["BackboneForward", "BaseBackbone", "TwoHeadPredictor"]
@@ -184,14 +184,70 @@ class BaseBackbone(Module):
             return F.weighted_binary_cross_entropy(factual, outcome, weights)
         return F.weighted_mse_loss(factual, outcome, weights)
 
-    def predict(self, covariates: np.ndarray) -> Dict[str, np.ndarray]:
-        """Inference-mode prediction of both potential outcomes."""
+    def predict(self, covariates: np.ndarray, compiled: bool = True) -> Dict[str, np.ndarray]:
+        """Inference-mode prediction of both potential outcomes.
+
+        By default the prediction runs through a compiled pure-NumPy forward
+        (see :mod:`repro.core.backbones.compiled`) that allocates no Tensor
+        graph nodes at all — it agrees with the autodiff path to
+        reassociation level (~1e-15 relative) and is several times faster at
+        serving batch sizes.  ``compiled=False`` forces the graph-based path
+        (custom backbones fall back to it automatically).
+        """
+        if compiled:
+            inference = self._compiled_inference()
+            if inference is not None:
+                matrix = np.asarray(covariates, dtype=get_default_dtype())
+                mu0, mu1 = inference(matrix)
+                return {"mu0": mu0, "mu1": mu1, "ite": mu1 - mu0}
         treatment_placeholder = np.zeros(len(covariates))
         with no_grad():
             forward = self.forward(covariates, treatment_placeholder)
         mu0 = forward.mu0.numpy().copy()
         mu1 = forward.mu1.numpy().copy()
         return {"mu0": mu0, "mu1": mu1, "ite": mu1 - mu0}
+
+    def invalidate_compiled(self) -> None:
+        """Drop the cached compiled-inference closure (if any).
+
+        Needed only after mutating a parameter buffer *in place*
+        (``param.data[...] = v``) — assignment-based updates (optimiser
+        steps, ``load_state_dict``) are detected automatically.
+        """
+        self._compiled_cache = None
+
+    def _compiled_inference(self):
+        """Return the compiled inference closure, re-compiling when stale.
+
+        Compiled closures are full parameter snapshots, keyed on the
+        identity of every parameter's array: an optimiser step or
+        ``load_state_dict`` swaps those arrays and invalidates the cache.
+        The keyed arrays are held strongly alongside the key, so a freed
+        buffer's id can never be recycled into a false cache hit.  An
+        un-compilable backbone is remembered as such (``False``).
+        """
+        cached = getattr(self, "_compiled_cache", None)
+        if cached is False:
+            return None
+        params = getattr(self, "_flat_params", None)
+        if params is None:
+            # The module tree of a compilable (stock) backbone is fixed after
+            # construction; flatten it once so the per-predict staleness
+            # probe is a plain id() sweep.
+            params = self._flat_params = tuple(self.parameters())
+        buffers = tuple(param.data for param in params)
+        key = tuple(map(id, buffers))
+        if cached is not None and cached[1] == key:
+            return cached[0]
+        from .compiled import compile_backbone
+
+        inference = compile_backbone(self)
+        if inference is None:
+            self._compiled_cache = False
+            return None
+        # ``buffers`` pins the keyed arrays so their ids stay unambiguous.
+        self._compiled_cache = (inference, key, buffers)
+        return inference
 
     def representations(self, covariates: np.ndarray) -> np.ndarray:
         """Inference-mode balanced representation Φ(x) (used for Fig. 5)."""

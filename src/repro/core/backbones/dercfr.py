@@ -102,12 +102,16 @@ class DeRCFR(BaseBackbone):
             rng=self.rng,
         )
         treatment_in = self.instrument_net.output_dim + self.confounder_net.output_dim
+        # The treatment head emits raw logits: the prediction loss runs
+        # through the fused F.bce_with_logits (numerically stable, no
+        # probability clipping), and the probability view is derived for
+        # consumers of ``extra["propensity"]``.
         self.treatment_net = MLP(
             treatment_in,
             cfg.treatment_hidden_sizes,
             out_features=1,
             activation=cfg.activation,
-            output_activation="sigmoid",
+            output_activation=None,
             rng=self.rng,
         )
 
@@ -123,7 +127,8 @@ class DeRCFR(BaseBackbone):
         last_layer = select_factual_rows(last1, last0, treatment)
 
         treatment_input = concatenate([rep_i, rep_c], axis=1)
-        propensity = self.treatment_net(treatment_input).reshape(-1)
+        treatment_logits = self.treatment_net(treatment_input).reshape(-1)
+        propensity = treatment_logits.sigmoid()
 
         # The "balanced representation" handed to the frameworks is the
         # confounder block — it is the block whose balance matters for
@@ -138,6 +143,7 @@ class DeRCFR(BaseBackbone):
                 "instrument": rep_i,
                 "adjustment": rep_a,
                 "propensity": propensity,
+                "treatment_logits": treatment_logits,
             },
         )
 
@@ -155,8 +161,10 @@ class DeRCFR(BaseBackbone):
         total: Tensor = as_tensor(0.0)
 
         # Treatment prediction loss: I and C must explain the assignment.
-        propensity = forward.extra["propensity"]
-        total = total + penalties.treatment_prediction * F.binary_cross_entropy(propensity, treatment)
+        # Fused logits formulation — stable for saturated propensities where
+        # the clipped probability-space BCE has a dead gradient zone.
+        logits = forward.extra["treatment_logits"]
+        total = total + penalties.treatment_prediction * F.bce_with_logits(logits, treatment)
 
         if len(treated_idx) > 0 and len(control_idx) > 0:
             weights = as_tensor(sample_weights).reshape(-1) if sample_weights is not None else None

@@ -26,6 +26,7 @@ from typing import Any, Dict, Optional
 import numpy as np
 
 from ..data.dataset import CausalDataset
+from ..nn.tensor import dtype_scope
 from ..registry import backbones as BACKBONE_REGISTRY
 from ..registry import frameworks as FRAMEWORK_REGISTRY
 from .backbones import build_backbone
@@ -195,26 +196,33 @@ class HTEEstimator:
     def fit(
         self, train: CausalDataset, validation: Optional[CausalDataset] = None
     ) -> "HTEEstimator":
-        """Fit the estimator on one training population."""
+        """Fit the estimator on one training population.
+
+        ``config.training.dtype`` selects the precision of the whole
+        training graph: the backbone parameters are *initialised* inside the
+        dtype scope, so float32 training really runs float32 end to end
+        rather than up-casting on every op.
+        """
         binary = self.binary_outcome if self.binary_outcome is not None else train.binary_outcome
         rng = np.random.default_rng(self.seed)
-        backbone = build_backbone(
-            self.backbone_name,
-            num_features=train.num_features,
-            config=self.config.backbone,
-            regularizers=self.config.regularizers,
-            binary_outcome=binary,
-            rng=rng,
-        )
-        self.trainer = SBRLTrainer(
-            backbone,
-            framework=self.framework,
-            config=self.config,
-            use_balance=self.use_balance,
-            use_independence=self.use_independence,
-            use_hierarchy=self.use_hierarchy,
-        )
-        self.trainer.fit(train, validation)
+        with dtype_scope(self.config.training.dtype):
+            backbone = build_backbone(
+                self.backbone_name,
+                num_features=train.num_features,
+                config=self.config.backbone,
+                regularizers=self.config.regularizers,
+                binary_outcome=binary,
+                rng=rng,
+            )
+            self.trainer = SBRLTrainer(
+                backbone,
+                framework=self.framework,
+                config=self.config,
+                use_balance=self.use_balance,
+                use_independence=self.use_independence,
+                use_hierarchy=self.use_hierarchy,
+            )
+            self.trainer.fit(train, validation)
         return self
 
     def _require_fitted(self) -> SBRLTrainer:

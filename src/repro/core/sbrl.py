@@ -29,7 +29,7 @@ from ..data.batching import DataLoader
 from ..data.dataset import CausalDataset
 from ..metrics.evaluation import EffectEstimates, evaluate_effect_predictions
 from ..nn.optim import Adam, ExponentialDecay
-from ..nn.tensor import Tensor, as_tensor, no_grad
+from ..nn.tensor import Tensor, as_tensor, dtype_scope, no_grad
 from ..registry import frameworks as FRAMEWORK_REGISTRY
 from .backbones.base import BackboneForward, BaseBackbone
 from .config import SBRLConfig
@@ -220,7 +220,10 @@ class SBRLTrainer:
         """
         cfg = self.config.training
         start = time.perf_counter()
+        with dtype_scope(cfg.dtype):
+            return self._fit_scoped(train, validation, callbacks, cfg, start)
 
+    def _fit_scoped(self, train, validation, callbacks, cfg, start) -> TrainingHistory:
         train_std, mean, std = train.standardize()
         self._standardize_mean, self._standardize_std = mean, std
         val_std = validation.standardize(mean, std)[0] if validation is not None else None

@@ -98,7 +98,7 @@ class SampleWeights:
 
     def reset(self) -> None:
         """Reset all weights to one (used between replications)."""
-        self.values.data = np.ones(self.num_samples, dtype=np.float64)
+        self.values.data = np.ones(self.num_samples, dtype=self.values.data.dtype)
         self.values.zero_grad()
 
     def effective_sample_size(self) -> float:

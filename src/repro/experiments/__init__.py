@@ -35,6 +35,8 @@ from .scenario_suite import (
     write_scenario_suite,
 )
 from .search import SearchSpace, SearchTrial, random_search
+from .autodiff_benchmark import benchmark_autodiff
+from .perf_gate import check_perf_regression
 from .training_benchmark import benchmark_training
 from .tables import (
     TableResult,
@@ -59,6 +61,8 @@ __all__ = [
     "run_replications",
     "spawn_replication_seeds",
     "benchmark_training",
+    "benchmark_autodiff",
+    "check_perf_regression",
     "default_method_grid",
     "TableResult",
     "table1_synthetic",

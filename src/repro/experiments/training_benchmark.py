@@ -36,6 +36,12 @@ from .runner import default_method_grid, run_methods
 
 __all__ = ["benchmark_training", "format_benchmark", "write_benchmark"]
 
+#: (num_samples, batch_size, full_batch_epochs, minibatch_epochs,
+#:  grid_num_samples, n_jobs) — one source of truth for each mode, shared by
+#: the --smoke defaults and the smoke_reference block the CI gate reads.
+SMOKE_DEFAULTS = (600, 128, 4, 2, 300, 2)
+FULL_DEFAULTS = (4000, 256, 40, 20, 800, 4)
+
 
 def _engine_config(
     iterations: int,
@@ -103,9 +109,7 @@ def benchmark_training(
     committed ``BENCH_training.json`` comes from a full run with the
     defaults.
     """
-    defaults = (
-        (600, 128, 4, 2, 300, 2) if smoke else (4000, 256, 40, 20, 800, 4)
-    )
+    defaults = SMOKE_DEFAULTS if smoke else FULL_DEFAULTS
     num_samples = num_samples if num_samples is not None else defaults[0]
     batch_size = batch_size if batch_size is not None else defaults[1]
     full_batch_epochs = full_batch_epochs if full_batch_epochs is not None else defaults[2]
@@ -184,7 +188,7 @@ def benchmark_training(
         "identical_results": bool(identical),
     }
 
-    return {
+    result = {
         "benchmark": "training-engine",
         "mode": "smoke" if smoke else "full",
         "machine": {
@@ -201,6 +205,35 @@ def benchmark_training(
         "minibatch": minibatch_section,
         "parallel_grid": grid_section,
     }
+    if not smoke:
+        # Smoke-sized timings measured on the same machine as the full run:
+        # the CI perf gate compares its own --smoke numbers against these.
+        # Sizes come from SMOKE_DEFAULTS so the gate always compares
+        # identically-sized workloads.
+        smoke_samples, smoke_batch, smoke_full_epochs, smoke_mini_epochs = SMOKE_DEFAULTS[:4]
+        smoke_protocol = generator.generate_train_test_protocol(
+            num_samples=smoke_samples, train_rho=2.5, test_rhos=(2.5,), seed=seed
+        )
+        smoke_batches = -(-smoke_samples // smoke_batch)
+        smoke_full = _fit_and_time(
+            _engine_config(smoke_full_epochs, None, None, num_anchors, seed),
+            smoke_protocol["train"],
+            smoke_protocol["test_environments"],
+            seed,
+        )
+        smoke_mini = _fit_and_time(
+            _engine_config(
+                smoke_mini_epochs * smoke_batches, smoke_batch, 4 * smoke_batch, num_anchors, seed
+            ),
+            smoke_protocol["train"],
+            smoke_protocol["test_environments"],
+            seed,
+        )
+        result["smoke_reference"] = {
+            "full_batch_seconds": smoke_full["seconds"],
+            "minibatch_seconds": smoke_mini["seconds"],
+        }
+    return result
 
 
 def format_benchmark(result: Dict[str, object]) -> str:

@@ -30,6 +30,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..nn import functional as F
 from ..nn.tensor import Tensor, as_tensor
 
 __all__ = [
@@ -79,11 +80,8 @@ class RandomFourierFeatures:
         return np.sqrt(2.0) * np.cos(values * self.frequencies[None, :] + self.phases[None, :])
 
     def transform_tensor(self, values: Tensor) -> Tensor:
-        """Differentiable version of :meth:`transform`."""
-        values = as_tensor(values).reshape(-1, 1)
-        freqs = as_tensor(self.frequencies.reshape(1, -1))
-        phases = as_tensor(self.phases.reshape(1, -1))
-        return (values * freqs + phases).cos() * np.sqrt(2.0)
+        """Differentiable version of :meth:`transform` (one fused node)."""
+        return F.rff_features(values, self.frequencies, self.phases)
 
 
 # --------------------------------------------------------------------------- #
@@ -234,12 +232,7 @@ def weighted_hsic_rff(
 
     u = feat_a.transform_tensor(col_a)
     v = feat_b.transform_tensor(col_b)
-    mean_u = (probs * u).sum(axis=0, keepdims=True)
-    mean_v = (probs * v).sum(axis=0, keepdims=True)
-    u_centred = u - mean_u
-    v_centred = v - mean_v
-    cross_cov = (probs * u_centred).T.matmul(v_centred)
-    return (cross_cov * cross_cov).sum()
+    return F.weighted_sq_cross_cov(u, v, probs)
 
 
 def pairwise_decorrelation_loss(
@@ -266,12 +259,20 @@ def pairwise_decorrelation_loss(
         rng = rng if rng is not None else np.random.default_rng(0)
         chosen = rng.choice(len(pairs), size=max_pairs, replace=False)
         pairs = [pairs[k] for k in chosen]
+    if not pairs:
+        return as_tensor(0.0)
+    # Shared sub-expressions are hoisted out of the pair loop: the normalised
+    # weight column is one graph branch reused by every pair, and each column
+    # is sliced + RFF-transformed exactly once instead of once per pair.
+    weights_column = as_tensor(weights).reshape(-1, 1)
+    probs = weights_column / (weights_column.sum() + 1e-12)
+    transformed: dict = {}
+    for i, j in pairs:
+        for index in (i, j):
+            if index not in transformed:
+                transformed[index] = features_per_dim[index].transform_tensor(matrix[:, index])
     total: Optional[Tensor] = None
     for i, j in pairs:
-        term = weighted_hsic_rff(
-            matrix[:, i], matrix[:, j], weights, (features_per_dim[i], features_per_dim[j])
-        )
+        term = F.weighted_sq_cross_cov(transformed[i], transformed[j], probs)
         total = term if total is None else total + term
-    if total is None:
-        return as_tensor(0.0)
     return total

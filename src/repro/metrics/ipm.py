@@ -25,6 +25,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..nn import functional as F
 from ..nn.tensor import Tensor, as_tensor
 
 __all__ = [
@@ -122,11 +123,21 @@ def wasserstein(
     x_treated: np.ndarray,
     epsilon: float = 0.1,
     iterations: int = 10,
+    tol: float = 1e-9,
 ) -> float:
-    """Entropic-regularised Wasserstein-1 distance (Sinkhorn approximation)."""
+    """Entropic-regularised Wasserstein-1 distance (Sinkhorn approximation).
+
+    ``iterations`` is an upper bound: the scaling loop exits early once the
+    relative change of the ``u`` scaling vector between two consecutive
+    iterations drops below ``tol`` (set ``tol=0`` to always exhaust the full
+    budget; the converged value matches the fixed-budget one to within
+    ``tol`` — see the regression test in ``tests/test_metrics_ipm.py``).
+    """
     x_control = np.asarray(x_control, dtype=np.float64)
     x_treated = np.asarray(x_treated, dtype=np.float64)
     _check_groups(x_control, x_treated)
+    if tol < 0:
+        raise ValueError("tol must be non-negative")
     n_c, n_t = len(x_control), len(x_treated)
     cost = np.sqrt(
         np.maximum(
@@ -146,9 +157,17 @@ def wasserstein(
     # its 1e-300 floor); clamp the denominators so the scaling updates stay
     # finite instead of producing inf/NaN transport plans.
     tiny = 1e-300
+    v = b
     for _ in range(iterations):
         v = b / np.maximum(kernel.T @ u, tiny)
-        u = a / np.maximum(kernel @ v, tiny)
+        u_next = a / np.maximum(kernel @ v, tiny)
+        if tol > 0.0:
+            drift = float(np.max(np.abs(u_next - u)))
+            u = u_next
+            if drift <= tol * max(1.0, float(np.max(np.abs(u_next)))):
+                break
+        else:
+            u = u_next
     transport = u[:, None] * kernel * v[None, :]
     return float(np.sum(transport * cost))
 
@@ -196,7 +215,12 @@ def mmd_rbf_weighted(
     weights_treated: Optional[Tensor] = None,
     sigma: float = 1.0,
 ) -> Tensor:
-    """Differentiable RBF MMD between weighted group representations."""
+    """Differentiable RBF MMD between weighted group representations.
+
+    Built from the fused :func:`repro.nn.functional.rbf_kernel` /
+    :func:`repro.nn.functional.bilinear_weighted_sum` kernels — roughly a
+    dozen graph nodes per call instead of ~60, with bit-identical values.
+    """
     rep_control = as_tensor(rep_control)
     rep_treated = as_tensor(rep_treated)
 
@@ -209,15 +233,9 @@ def mmd_rbf_weighted(
     w_c = normalised(weights_control, len(rep_control))
     w_t = normalised(weights_treated, len(rep_treated))
 
-    def kernel(a: Tensor, b: Tensor) -> Tensor:
-        sq_a = (a * a).sum(axis=1).reshape(-1, 1)
-        sq_b = (b * b).sum(axis=1).reshape(1, -1)
-        sq = sq_a + sq_b - 2.0 * a.matmul(b.T)
-        return (sq * (-1.0 / (2.0 * sigma ** 2))).exp()
-
-    k_cc = (w_c.reshape(-1, 1) * kernel(rep_control, rep_control) * w_c.reshape(1, -1)).sum()
-    k_tt = (w_t.reshape(-1, 1) * kernel(rep_treated, rep_treated) * w_t.reshape(1, -1)).sum()
-    k_ct = (w_c.reshape(-1, 1) * kernel(rep_control, rep_treated) * w_t.reshape(1, -1)).sum()
+    k_cc = F.bilinear_weighted_sum(w_c, F.rbf_kernel(rep_control, rep_control, sigma), w_c)
+    k_tt = F.bilinear_weighted_sum(w_t, F.rbf_kernel(rep_treated, rep_treated, sigma), w_t)
+    k_ct = F.bilinear_weighted_sum(w_c, F.rbf_kernel(rep_control, rep_treated, sigma), w_t)
     return k_cc + k_tt - 2.0 * k_ct
 
 

@@ -8,7 +8,19 @@ from . import functional
 from .init import he_normal, ones, xavier_normal, xavier_uniform, zeros
 from .modules import MLP, Linear, Module, RepresentationNetwork, Sequential
 from .optim import SGD, Adam, ConstantSchedule, ExponentialDecay, Optimizer
-from .tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack
+from .tensor import (
+    Tensor,
+    as_tensor,
+    concatenate,
+    dtype_scope,
+    get_default_dtype,
+    graph_node_count,
+    is_grad_enabled,
+    no_grad,
+    set_default_dtype,
+    stack,
+    tensor_alloc_count,
+)
 
 __all__ = [
     "Tensor",
@@ -17,6 +29,11 @@ __all__ = [
     "stack",
     "no_grad",
     "is_grad_enabled",
+    "dtype_scope",
+    "get_default_dtype",
+    "set_default_dtype",
+    "graph_node_count",
+    "tensor_alloc_count",
     "functional",
     "Module",
     "Linear",

@@ -13,6 +13,21 @@ training procedure needs:
 * shape manipulation (reshape, transpose, concatenation, slicing),
 * gradient accumulation through arbitrary DAGs via topological ordering.
 
+The engine is tuned for the training hot path:
+
+* **dtype policy** — tensors are created in the process-wide default dtype
+  (:func:`set_default_dtype` / :class:`dtype_scope`).  ``float64`` is the
+  default for bit-compatibility with the finite-difference gradient checks
+  and the golden-regression suite; ``float32`` halves memory traffic for
+  opt-in fast training (``TrainingConfig.dtype``).
+* **zero-copy backprop** — gradient buffers are allocated once per graph
+  edge fan-in and then accumulated in place (``np.add(..., out=...)``)
+  whenever the buffer is owned by the backward pass; no defensive
+  ``asarray``/``copy`` per hop.
+* **graph release** — after :meth:`Tensor.backward` the node closures and
+  parent links are dropped (unless ``retain_graph=True``), so step N's
+  activations are freed before step N+1 allocates.
+
 Gradients are validated against central finite differences in
 ``tests/test_nn_tensor.py`` and the hypothesis suite.
 """
@@ -25,7 +40,19 @@ import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence[float], "Tensor"]
 
-__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled", "concatenate", "stack"]
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "concatenate",
+    "stack",
+    "get_default_dtype",
+    "set_default_dtype",
+    "dtype_scope",
+    "tensor_alloc_count",
+    "graph_node_count",
+]
 
 
 class _GradMode:
@@ -51,6 +78,96 @@ def is_grad_enabled() -> bool:
     return _GradMode.enabled
 
 
+# --------------------------------------------------------------------------- #
+# Dtype policy
+# --------------------------------------------------------------------------- #
+class _DtypePolicy:
+    """Process-wide default dtype for newly constructed tensors."""
+
+    dtype = np.float64
+
+
+_ALLOWED_DTYPES = {
+    "float32": np.float32,
+    "float64": np.float64,
+}
+
+
+def _coerce_dtype(dtype) -> type:
+    if isinstance(dtype, str):
+        try:
+            return _ALLOWED_DTYPES[dtype]
+        except KeyError as exc:
+            raise ValueError(
+                f"unsupported dtype {dtype!r}; expected one of {sorted(_ALLOWED_DTYPES)}"
+            ) from exc
+    resolved = np.dtype(dtype).type
+    if resolved not in (np.float32, np.float64):
+        raise ValueError(f"unsupported dtype {dtype!r}; expected float32 or float64")
+    return resolved
+
+
+def get_default_dtype():
+    """The dtype new tensors are created with (``np.float64`` by default)."""
+    return _DtypePolicy.dtype
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the process-wide tensor dtype (``"float32"`` or ``"float64"``)."""
+    _DtypePolicy.dtype = _coerce_dtype(dtype)
+
+
+class dtype_scope:
+    """Context manager temporarily switching the default tensor dtype.
+
+    Used by the training engine to honour ``TrainingConfig.dtype`` without
+    leaking the policy into evaluation code, which always runs in float64.
+    """
+
+    def __init__(self, dtype) -> None:
+        self._dtype = _coerce_dtype(dtype)
+
+    def __enter__(self) -> "dtype_scope":
+        self._previous = _DtypePolicy.dtype
+        _DtypePolicy.dtype = self._dtype
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _DtypePolicy.dtype = self._previous
+
+
+# --------------------------------------------------------------------------- #
+# Instrumentation (used by benchmarks/bench_autodiff.py)
+# --------------------------------------------------------------------------- #
+class _AllocStats:
+    """Process-wide counter of Tensor constructions (one per recorded op)."""
+
+    tensors = 0
+
+
+def tensor_alloc_count() -> int:
+    """Monotonic count of :class:`Tensor` objects constructed so far.
+
+    The difference of two readings brackets the allocation cost of a code
+    region — every NumPy op on tensors allocates exactly one node, so this
+    is the graph-size metric the fused-kernel benchmarks report.
+    """
+    return _AllocStats.tensors
+
+
+def graph_node_count(root: "Tensor") -> int:
+    """Number of nodes reachable from ``root`` through parent links."""
+    seen: set = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        stack.extend(node._parents)
+    return len(seen)
+
+
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     """Sum ``grad`` over broadcast dimensions so it matches ``shape``."""
     if grad.shape == shape:
@@ -65,20 +182,48 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+class _BackwardState:
+    """Per-``backward()`` scratch: pending gradients and buffer ownership.
+
+    ``grads`` maps ``id(tensor)`` to the accumulated gradient buffer.
+    ``owned`` holds the ids whose buffer was freshly allocated *by this
+    backward pass* (an unbroadcast reduction or a fan-in addition) and is
+    therefore safe to accumulate into in place.  Buffers received verbatim
+    from an op's backward closure are never owned — the same array may have
+    been sent to a sibling parent or be a read-only broadcast view.
+    """
+
+    __slots__ = ("grads", "owned")
+
+    def __init__(self) -> None:
+        self.grads: dict = {}
+        self.owned: set = set()
+
+
+def _released_backward(grad: np.ndarray) -> None:
+    raise RuntimeError(
+        "backward() through a graph that has already been freed; pass "
+        "retain_graph=True to the first backward() call to keep the graph"
+    )
+
+
 class Tensor:
     """A NumPy-backed tensor participating in reverse-mode autodiff.
 
     Parameters
     ----------
     data:
-        Any array-like value.  Stored as ``float64`` for numerical fidelity
-        with the finite-difference gradient checks.
+        Any array-like value.  Stored in the process-wide default dtype
+        (``float64`` unless a :class:`dtype_scope` is active) for numerical
+        fidelity with the finite-difference gradient checks.
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad` when
         :meth:`backward` is called on a downstream scalar.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name", "_route")
+    # __weakref__ keeps tensors weak-referenceable so graph-release tests
+    # (and memory tooling) can observe node lifetime directly.
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name", "_route", "__weakref__")
 
     def __init__(
         self,
@@ -89,12 +234,15 @@ class Tensor:
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = np.asarray(data, dtype=_DtypePolicy.dtype)
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad: Optional[np.ndarray] = None
         self._backward: Optional[Callable[[np.ndarray], None]] = None
-        self._parents: Tuple[Tensor, ...] = _parents if self.requires_grad or _parents else ()
+        # Retaining parents on a grad-free tensor would keep whole subgraphs
+        # alive under no_grad(); only record them when gradients can flow.
+        self._parents: Tuple[Tensor, ...] = _parents if self.requires_grad else ()
         self.name = name
+        _AllocStats.tensors += 1
 
     # ------------------------------------------------------------------ #
     # Basic introspection
@@ -150,27 +298,40 @@ class Tensor:
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+    def _accumulate(self, grad: np.ndarray, owned: bool = False) -> None:
+        """Fold ``grad`` into :attr:`grad`, taking ownership when allowed."""
+        unbroadcast = _unbroadcast(grad, self.data.shape)
+        if unbroadcast is not grad:
+            owned = True  # the reduction allocated a fresh buffer
         if self.grad is None:
-            self.grad = grad.copy()
+            self.grad = unbroadcast if owned else unbroadcast.copy()
+        elif self.grad.flags.writeable:
+            np.add(self.grad, unbroadcast, out=self.grad)
         else:
-            self.grad = self.grad + grad
+            self.grad = self.grad + unbroadcast
 
-    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+    def backward(self, grad: Optional[ArrayLike] = None, retain_graph: bool = False) -> None:
         """Run reverse-mode differentiation from this tensor.
 
         ``grad`` defaults to 1 for scalar tensors.  Gradients accumulate in
         the ``grad`` attribute of every reachable tensor that has
         ``requires_grad=True``.
+
+        Unless ``retain_graph`` is set, the traversed graph is *released*
+        afterwards: backward closures and parent links are dropped so the
+        forward activations they captured can be freed immediately.  A second
+        ``backward()`` through a released graph raises ``RuntimeError``.
         """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not require grad")
+        seed_owned = False
         if grad is None:
             if self.data.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar tensors")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+            seed_owned = True
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
 
         # Iterative topological sort (deep graphs, e.g. long sums of HSIC
         # terms, would overflow Python's recursion limit otherwise).
@@ -190,39 +351,61 @@ class Tensor:
                 if id(parent) not in visited:
                     stack.append((parent, False))
 
-        grads: dict[int, np.ndarray] = {id(self): grad}
-        for node in reversed(topo):
-            node_grad = grads.pop(id(node), None)
-            if node_grad is None:
-                continue
-            if node.requires_grad and not node._parents:
-                node._accumulate(node_grad)
-            elif node.requires_grad and node._parents:
-                # Leaf check: a node with parents is intermediate; still allow
-                # explicit retention by accumulating when it is a parameter.
-                if node._backward is None:
-                    node._accumulate(node_grad)
-            if node._backward is not None:
-                node._backward_dispatch(node_grad, grads)
+        state = _BackwardState()
+        state.grads[id(self)] = grad
+        if seed_owned:
+            state.owned.add(id(self))
+        try:
+            for node in reversed(topo):
+                key = id(node)
+                node_grad = state.grads.pop(key, None)
+                if node_grad is None:
+                    continue
+                owned = key in state.owned
+                state.owned.discard(key)
+                if node.requires_grad and node._backward is None:
+                    # Leaf (or explicitly retained parameter-like node).
+                    node._accumulate(node_grad, owned=owned)
+                if node._backward is not None:
+                    node._backward_dispatch(node_grad, state)
+        finally:
+            if not retain_graph:
+                for node in topo:
+                    if node._backward is not None:
+                        node._backward = _released_backward
+                        node._parents = ()
 
-    def _backward_dispatch(self, grad: np.ndarray, grads: dict) -> None:
-        """Invoke the stored backward closure, routing into ``grads``."""
+    def _backward_dispatch(self, grad: np.ndarray, state: _BackwardState) -> None:
+        """Invoke the stored backward closure, routing into ``state``."""
         assert self._backward is not None
-        self._route = grads  # type: ignore[attr-defined]
+        self._route = state  # type: ignore[attr-defined]
         try:
             self._backward(grad)
         finally:
             del self._route  # type: ignore[attr-defined]
 
     def _send(self, parent: "Tensor", grad: np.ndarray) -> None:
-        """Accumulate ``grad`` for ``parent`` during backprop."""
-        grads: dict = self._route  # type: ignore[attr-defined]
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), parent.data.shape)
+        """Accumulate ``grad`` for ``parent`` during backprop (zero-copy).
+
+        The first gradient reaching a parent is stored as-is; fan-in
+        accumulation allocates once and every further contribution is added
+        in place into that owned buffer.
+        """
+        if not parent.requires_grad and parent._backward is None:
+            return  # constants never route gradients further
+        state: _BackwardState = self._route  # type: ignore[attr-defined]
+        unbroadcast = _unbroadcast(grad, parent.data.shape)
         key = id(parent)
-        if key in grads:
-            grads[key] = grads[key] + grad
+        existing = state.grads.get(key)
+        if existing is None:
+            state.grads[key] = unbroadcast
+            if unbroadcast is not grad:
+                state.owned.add(key)  # the reduction allocated a fresh buffer
+        elif key in state.owned:
+            np.add(existing, unbroadcast, out=existing)
         else:
-            grads[key] = grad
+            state.grads[key] = existing + unbroadcast
+            state.owned.add(key)
 
     def zero_grad(self) -> None:
         """Reset the accumulated gradient."""
@@ -290,7 +473,16 @@ class Tensor:
         out_data = self.data ** exponent
 
         def backward(grad: np.ndarray, self_t=self, p=float(exponent)) -> None:
-            out._send(self_t, grad * p * (self_t.data ** (p - 1.0)))
+            if p < 1.0:
+                # x**(p-1) diverges at x == 0 for p < 1; use the zero
+                # subgradient there instead of emitting inf/nan.
+                base = self_t.data
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    local = p * base ** (p - 1.0)
+                local = np.where(base == 0.0, 0.0, local)
+            else:
+                local = p * (self_t.data ** (p - 1.0))
+            out._send(self_t, grad * local)
 
         out = Tensor._make(out_data, (self,), backward)
         return out
@@ -304,25 +496,7 @@ class Tensor:
         out_data = self.data @ other_t.data
 
         def backward(grad: np.ndarray, a=self, b=other_t) -> None:
-            a_data, b_data = a.data, b.data
-            grad = np.asarray(grad, dtype=np.float64)
-            if a_data.ndim == 1 and b_data.ndim == 1:
-                out._send(a, grad * b_data)
-                out._send(b, grad * a_data)
-                return
-            a2 = a_data if a_data.ndim > 1 else a_data[None, :]
-            b2 = b_data if b_data.ndim > 1 else b_data[:, None]
-            g2 = grad
-            if a_data.ndim == 1:
-                g2 = g2[None, ...]
-            if b_data.ndim == 1:
-                g2 = g2[..., None]
-            grad_a = g2 @ np.swapaxes(b2, -1, -2)
-            grad_b = np.swapaxes(a2, -1, -2) @ g2
-            if a_data.ndim == 1:
-                grad_a = grad_a.reshape(a_data.shape)
-            if b_data.ndim == 1:
-                grad_b = grad_b.reshape(b_data.shape)
+            grad_a, grad_b = _matmul_vjp(grad, a.data, b.data)
             out._send(a, grad_a)
             out._send(b, grad_b)
 
@@ -336,7 +510,6 @@ class Tensor:
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(grad: np.ndarray, self_t=self, ax=axis, keep=keepdims) -> None:
-            grad = np.asarray(grad, dtype=np.float64)
             if ax is None:
                 expanded = np.broadcast_to(grad, self_t.data.shape)
             else:
@@ -497,7 +670,7 @@ class Tensor:
         out_data = self.data.reshape(shape)
 
         def backward(grad: np.ndarray, self_t=self) -> None:
-            out._send(self_t, np.asarray(grad).reshape(self_t.data.shape))
+            out._send(self_t, grad.reshape(self_t.data.shape))
 
         out = Tensor._make(out_data, (self,), backward)
         return out
@@ -507,10 +680,10 @@ class Tensor:
 
         def backward(grad: np.ndarray, self_t=self, ax=axes) -> None:
             if ax is None:
-                out._send(self_t, np.asarray(grad).transpose())
+                out._send(self_t, grad.transpose())
             else:
                 inverse = np.argsort(ax)
-                out._send(self_t, np.asarray(grad).transpose(inverse))
+                out._send(self_t, grad.transpose(inverse))
 
         out = Tensor._make(out_data, (self,), backward)
         return out
@@ -520,11 +693,33 @@ class Tensor:
 
         def backward(grad: np.ndarray, self_t=self, idx=index) -> None:
             full = np.zeros_like(self_t.data)
-            np.add.at(full, idx, np.asarray(grad, dtype=np.float64))
+            np.add.at(full, idx, grad)
             out._send(self_t, full)
 
         out = Tensor._make(out_data, (self,), backward)
         return out
+
+
+def _matmul_vjp(
+    grad: np.ndarray, a_data: np.ndarray, b_data: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """VJP of ``a @ b`` for 1-D/2-D operands (shared with the fused ops)."""
+    if a_data.ndim == 1 and b_data.ndim == 1:
+        return grad * b_data, grad * a_data
+    a2 = a_data if a_data.ndim > 1 else a_data[None, :]
+    b2 = b_data if b_data.ndim > 1 else b_data[:, None]
+    g2 = grad
+    if a_data.ndim == 1:
+        g2 = g2[None, ...]
+    if b_data.ndim == 1:
+        g2 = g2[..., None]
+    grad_a = g2 @ np.swapaxes(b2, -1, -2)
+    grad_b = np.swapaxes(a2, -1, -2) @ g2
+    if a_data.ndim == 1:
+        grad_a = grad_a.reshape(a_data.shape)
+    if b_data.ndim == 1:
+        grad_b = grad_b.reshape(b_data.shape)
+    return grad_a, grad_b
 
 
 def as_tensor(value: ArrayLike, requires_grad: bool = False) -> Tensor:
@@ -542,7 +737,6 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     offsets = np.cumsum([0] + sizes)
 
     def backward(grad: np.ndarray) -> None:
-        grad = np.asarray(grad, dtype=np.float64)
         for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
             slicer = [slice(None)] * grad.ndim
             slicer[axis] = slice(start, stop)
@@ -558,7 +752,6 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     out_data = np.stack([t.data for t in tensors], axis=axis)
 
     def backward(grad: np.ndarray) -> None:
-        grad = np.asarray(grad, dtype=np.float64)
         split = np.moveaxis(grad, axis, 0)
         for tensor, piece in zip(tensors, split):
             out._send(tensor, piece)

@@ -39,7 +39,7 @@ ArrayLike = Union[np.ndarray, Sequence[Sequence[float]], Sequence[float]]
 
 def _as_matrix(covariates: ArrayLike) -> np.ndarray:
     """Coerce one request payload to a contiguous float64 ``(n, d)`` matrix."""
-    matrix = np.ascontiguousarray(np.asarray(covariates, dtype=np.float64))
+    matrix = np.asarray(covariates, dtype=np.float64, order="C")
     if matrix.ndim == 1:
         matrix = matrix.reshape(1, -1)
     if matrix.ndim != 2:

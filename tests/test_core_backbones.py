@@ -179,3 +179,104 @@ class TestPrediction:
         backbone = CFR(covariates.shape[1], config=small_config, rng=np.random.default_rng(0))
         representation = backbone.representations(covariates)
         assert representation.shape == (len(covariates), small_config.rep_units)
+
+
+class TestCompiledInference:
+    """The compiled pure-NumPy forward must agree with the graph path."""
+
+    @pytest.mark.parametrize("name", ["tarnet", "cfr", "dercfr"])
+    @pytest.mark.parametrize("normalize", [False, True])
+    @pytest.mark.parametrize("binary", [False, True])
+    def test_compiled_matches_graph_path(self, name, normalize, binary):
+        from repro.core.backbones import build_backbone
+
+        config = BackboneConfig(
+            rep_layers=2, rep_units=8, head_layers=2, head_units=6,
+            rep_normalization=normalize,
+        )
+        backbone = build_backbone(
+            name, num_features=7, config=config, regularizers=RegularizerConfig(),
+            binary_outcome=binary, rng=np.random.default_rng(11),
+        )
+        x = np.random.default_rng(1).normal(size=(33, 7))
+        graph = backbone.predict(x, compiled=False)
+        compiled = backbone.predict(x, compiled=True)
+        assert backbone._compiled_inference() is not None
+        for key in ("mu0", "mu1", "ite"):
+            np.testing.assert_allclose(compiled[key], graph[key], rtol=1e-12, atol=1e-14)
+
+    def test_compiled_invalidated_by_parameter_updates(self):
+        from repro.core.backbones import build_backbone
+
+        backbone = build_backbone(
+            "cfr", num_features=5,
+            config=BackboneConfig(rep_layers=2, rep_units=6, head_layers=2, head_units=4),
+            regularizers=RegularizerConfig(), binary_outcome=True,
+            rng=np.random.default_rng(2),
+        )
+        x = np.random.default_rng(3).normal(size=(9, 5))
+        before = backbone.predict(x)["mu0"].copy()
+        for param in backbone.parameters():
+            param.data = param.data + 0.1  # fresh buffers, like an optimiser step
+        after = backbone.predict(x)
+        reference = backbone.predict(x, compiled=False)
+        assert not np.allclose(before, after["mu0"])
+        np.testing.assert_allclose(after["mu0"], reference["mu0"], rtol=1e-12)
+
+    def test_compiled_tracks_load_state_dict(self):
+        from repro.core.backbones import build_backbone
+
+        def build(seed):
+            return build_backbone(
+                "tarnet", num_features=4,
+                config=BackboneConfig(rep_layers=2, rep_units=5, head_layers=2, head_units=4),
+                regularizers=RegularizerConfig(), binary_outcome=False,
+                rng=np.random.default_rng(seed),
+            )
+
+        source, target = build(1), build(2)
+        x = np.random.default_rng(4).normal(size=(6, 4))
+        target.predict(x)  # compile against the original parameters
+        target.load_state_dict(source.state_dict())
+        np.testing.assert_allclose(
+            target.predict(x)["ite"], source.predict(x, compiled=False)["ite"], rtol=1e-12
+        )
+
+    def test_inplace_mutation_serves_coherent_snapshot_until_invalidated(self):
+        """In-place buffer writes evade the id probe by design; the closure
+        must then serve one *coherent* old version, and invalidate_compiled()
+        must pick the mutation up."""
+        from repro.core.backbones import build_backbone
+
+        backbone = build_backbone(
+            "cfr", num_features=5,
+            config=BackboneConfig(rep_layers=2, rep_units=6, head_layers=2, head_units=4),
+            regularizers=RegularizerConfig(), binary_outcome=True,
+            rng=np.random.default_rng(8),
+        )
+        x = np.random.default_rng(9).normal(size=(11, 5))
+        before = backbone.predict(x)["mu0"].copy()
+        for param in backbone.parameters():
+            param.data *= 1.5  # in place: buffer identity unchanged
+        # Stale but coherent: exactly the pre-mutation predictions.
+        np.testing.assert_array_equal(backbone.predict(x)["mu0"], before)
+        backbone.invalidate_compiled()
+        refreshed = backbone.predict(x)
+        reference = backbone.predict(x, compiled=False)
+        assert not np.allclose(refreshed["mu0"], before)
+        np.testing.assert_allclose(refreshed["mu0"], reference["mu0"], rtol=1e-12)
+
+    def test_custom_backbone_falls_back_to_graph_path(self):
+        class WeirdTARNet(TARNet):
+            def forward(self, covariates, treatment):  # custom forward -> no compile
+                return super().forward(covariates, treatment)
+
+        backbone = WeirdTARNet(
+            num_features=4,
+            config=BackboneConfig(rep_layers=2, rep_units=5, head_layers=2, head_units=4),
+            rng=np.random.default_rng(5),
+        )
+        assert backbone._compiled_inference() is None
+        x = np.random.default_rng(6).normal(size=(5, 4))
+        result = backbone.predict(x)  # silently uses the graph path
+        assert result["mu0"].shape == (5,)

@@ -98,6 +98,27 @@ def test_end_to_end_metrics_are_pinned(golden_protocol, batch_size):
         )
 
 
+def test_float32_training_stays_near_float64_goldens(golden_protocol):
+    """Opt-in float32 mode lands within a loose band of the float64 goldens.
+
+    float32 is *not* bit-compatible (that is the documented trade-off); this
+    test pins the size of the drift so a silent precision bug cannot hide
+    behind the "float32 is allowed to differ" excuse.
+    """
+    import dataclasses
+
+    config = _golden_config(None)
+    config = dataclasses.replace(
+        config, training=dataclasses.replace(config.training, dtype="float32")
+    )
+    estimator = HTEEstimator(backbone="cfr", framework="sbrl-hap", config=config, seed=11)
+    estimator.fit(golden_protocol["train"])
+    for rho, dataset in golden_protocol["test_environments"].items():
+        metrics = estimator.evaluate(dataset)
+        want_pehe, _ = GOLDEN[None][f"{rho:g}"]
+        assert metrics["pehe"] == pytest.approx(want_pehe, rel=0.05)
+
+
 def test_golden_run_is_deterministic(golden_protocol):
     """Two identical fits give byte-identical metrics (the premise above)."""
     results = []

@@ -170,3 +170,42 @@ class TestWeightedIPM:
         assert value >= 0
         with pytest.raises(ValueError):
             weighted_ipm(Tensor(control), Tensor(shifted), kind="wasserstein")
+
+
+class TestSinkhornEarlyExit:
+    """Convergence-tolerance early exit of the Sinkhorn iterations."""
+
+    def _groups(self, seed=0):
+        rng = np.random.default_rng(seed)
+        control = rng.normal(size=(40, 4))
+        treated = rng.normal(loc=0.7, size=(35, 4))
+        return control, treated
+
+    def test_tight_tolerance_reproduces_fixed_budget_values(self):
+        control, treated = self._groups()
+        exhaustive = wasserstein(control, treated, iterations=200, tol=0.0)
+        early = wasserstein(control, treated, iterations=200, tol=1e-12)
+        np.testing.assert_allclose(early, exhaustive, rtol=1e-9)
+
+    def test_default_tolerance_matches_disabled_on_short_budgets(self):
+        control, treated = self._groups(seed=3)
+        default = wasserstein(control, treated, iterations=10)
+        disabled = wasserstein(control, treated, iterations=10, tol=0.0)
+        np.testing.assert_allclose(default, disabled, rtol=1e-6)
+
+    def test_early_exit_actually_triggers(self):
+        """With a generous budget the converged loop must cost no accuracy."""
+        control, treated = self._groups(seed=5)
+        converged = wasserstein(control, treated, iterations=10_000, tol=1e-10)
+        reference = wasserstein(control, treated, iterations=10_000, tol=0.0)
+        np.testing.assert_allclose(converged, reference, rtol=1e-7)
+
+    def test_identical_groups_exit_immediately(self):
+        control, _ = self._groups(seed=7)
+        value = wasserstein(control, control, iterations=500)
+        assert np.isfinite(value)
+
+    def test_negative_tolerance_rejected(self):
+        control, treated = self._groups()
+        with pytest.raises(ValueError, match="tol"):
+            wasserstein(control, treated, tol=-1.0)

@@ -296,6 +296,175 @@ def test_functional_l2_penalty_and_normalize_rows(seed, rows, cols):
 
 
 # --------------------------------------------------------------------- #
+# Fused kernels (single-node closed-form VJPs)
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("shape_x", [(3,), (4, 3)])
+@given(seed=seeds, cols=dims)
+@settings(**GRADCHECK_SETTINGS)
+def test_fused_linear_operand_ranks(shape_x, seed, cols):
+    """The fused linear op must cover 1-D and 2-D inputs like matmul."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=shape_x)
+    weight = rng.normal(size=(3, cols))
+    bias = rng.normal(size=(cols,))
+    check_gradients(lambda a, w, b: F.linear(a, w, b), x, weight, bias, seed=seed)
+
+
+@pytest.mark.parametrize("rows_a, rows_b", [(1, 1), (3, 2), (2, 5)])
+@given(seed=seeds, features=dims)
+@settings(**GRADCHECK_SETTINGS)
+def test_pairwise_sq_dists_gradients(rows_a, rows_b, seed, features):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(rows_a, features))
+    b = rng.normal(size=(rows_b, features))
+    check_gradients(F.pairwise_sq_dists, a, b, seed=seed)
+
+
+@pytest.mark.parametrize("sigma", [0.5, 1.0, 2.0])
+@given(seed=seeds, rows=dims, features=dims)
+@settings(**GRADCHECK_SETTINGS)
+def test_rbf_kernel_gradients(sigma, seed, rows, features):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(rows, features))
+    b = rng.normal(size=(rows + 1, features))
+    check_gradients(lambda x, y: F.rbf_kernel(x, y, sigma), a, b, seed=seed)
+
+
+def test_pairwise_ops_reject_non_2d():
+    with pytest.raises(ValueError):
+        F.pairwise_sq_dists(np.ones(3), np.ones((2, 3)))
+    with pytest.raises(ValueError):
+        F.rbf_kernel(np.ones((2, 3)), np.ones(3))
+
+
+@pytest.mark.parametrize("weighted", [False, True])
+@pytest.mark.parametrize("shape", [(5,), (4, 2)])
+@given(seed=seeds)
+@settings(**GRADCHECK_SETTINGS)
+def test_bce_with_logits_gradients(weighted, shape, seed):
+    rng = np.random.default_rng(seed)
+    logits = rng.normal(size=shape) * 2.0
+    labels = (rng.uniform(size=shape) < 0.5).astype(np.float64)
+    if weighted:
+        weights = np.abs(rng.normal(size=shape)) + 0.1
+        check_gradients(
+            lambda z, w: F.bce_with_logits(z, labels, w), logits, weights, seed=seed
+        )
+    else:
+        check_gradients(lambda z: F.bce_with_logits(z, labels), logits, seed=seed)
+
+
+def test_bce_with_logits_matches_probability_path():
+    rng = np.random.default_rng(0)
+    logits = rng.normal(size=12) * 3.0
+    labels = (rng.uniform(size=12) < 0.5).astype(np.float64)
+    weights = np.abs(rng.normal(size=12)) + 0.1
+    fused = F.bce_with_logits(logits, labels, weights).item()
+    composed = F.weighted_binary_cross_entropy(
+        F.sigmoid(Tensor(logits)), labels, weights
+    ).item()
+    assert fused == pytest.approx(composed, rel=1e-6)
+
+
+@given(seed=seeds, n=st.integers(min_value=2, max_value=6), features=dims)
+@settings(**GRADCHECK_SETTINGS)
+def test_rff_features_gradients(seed, n, features):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=(n,))
+    frequencies = rng.normal(size=features)
+    phases = rng.uniform(0.0, 2.0 * np.pi, size=features)
+    check_gradients(lambda v: F.rff_features(v, frequencies, phases), values, seed=seed)
+
+
+@given(seed=seeds, n=st.integers(min_value=2, max_value=5), k=dims, m=dims)
+@settings(**GRADCHECK_SETTINGS)
+def test_weighted_sq_cross_cov_gradients(seed, n, k, m):
+    rng = np.random.default_rng(seed)
+    u = rng.normal(size=(n, k))
+    v = rng.normal(size=(n, m))
+    probs = (np.abs(rng.normal(size=(n, 1))) + 0.1)
+    probs = probs / probs.sum()
+    check_gradients(F.weighted_sq_cross_cov, u, v, probs, seed=seed)
+
+
+@given(seed=seeds, n=st.integers(min_value=1, max_value=4), m=st.integers(min_value=1, max_value=4))
+@settings(**GRADCHECK_SETTINGS)
+def test_bilinear_weighted_sum_gradients(seed, n, m):
+    rng = np.random.default_rng(seed)
+    wa = np.abs(rng.normal(size=(n,))) + 0.1
+    kernel = rng.normal(size=(n, m))
+    wb = np.abs(rng.normal(size=(m,))) + 0.1
+    check_gradients(F.bilinear_weighted_sum, wa, kernel, wb, seed=seed)
+
+
+@given(seed=seeds, n_control=st.integers(min_value=2, max_value=4), n_treated=st.integers(min_value=2, max_value=4), features=dims)
+@settings(max_examples=5, deadline=None)
+def test_mmd_rbf_weighted_gradients(seed, n_control, n_treated, features):
+    from repro.metrics.ipm import mmd_rbf_weighted
+
+    rng = np.random.default_rng(seed)
+    control = rng.normal(size=(n_control, features))
+    treated = rng.normal(size=(n_treated, features))
+    w_control = np.abs(rng.normal(size=(n_control,))) + 0.2
+    w_treated = np.abs(rng.normal(size=(n_treated,))) + 0.2
+    check_gradients(
+        lambda c, t, wc, wt: mmd_rbf_weighted(c, t, wc, wt, sigma=1.3),
+        control,
+        treated,
+        w_control,
+        w_treated,
+        seed=seed,
+    )
+
+
+@given(seed=seeds, n=st.integers(min_value=3, max_value=6))
+@settings(max_examples=5, deadline=None)
+def test_weighted_hsic_rff_gradients(seed, n):
+    from repro.metrics.hsic import RandomFourierFeatures, weighted_hsic_rff
+
+    rng = np.random.default_rng(seed)
+    features = (
+        RandomFourierFeatures.draw(3, np.random.default_rng(seed + 1)),
+        RandomFourierFeatures.draw(3, np.random.default_rng(seed + 2)),
+    )
+    col_a = rng.normal(size=(n,))
+    col_b = rng.normal(size=(n,))
+    weights = np.abs(rng.normal(size=(n,))) + 0.2
+    check_gradients(
+        lambda a, b, w: weighted_hsic_rff(a, b, w, features), col_a, col_b, weights, seed=seed
+    )
+
+
+@given(seed=seeds, n=st.integers(min_value=3, max_value=5), cols=st.integers(min_value=2, max_value=4))
+@settings(max_examples=4, deadline=None)
+def test_pairwise_decorrelation_loss_gradients(seed, n, cols):
+    from repro.metrics.hsic import RandomFourierFeatures, pairwise_decorrelation_loss
+
+    rng = np.random.default_rng(seed)
+    draws = [RandomFourierFeatures.draw(3, np.random.default_rng(seed + i)) for i in range(cols)]
+    matrix = rng.normal(size=(n, cols))
+    weights = np.abs(rng.normal(size=(n,))) + 0.2
+    check_gradients(
+        lambda m, w: pairwise_decorrelation_loss(m, w, draws, max_pairs=None),
+        matrix,
+        weights,
+        seed=seed,
+    )
+
+
+def test_pow_fractional_exponent_zero_edge():
+    """x ** p with p < 1 must emit a zero (not inf) gradient at x == 0."""
+    x = Tensor(np.array([0.0, 0.5, 2.0]), requires_grad=True)
+    (x ** 0.5).sum().backward()
+    assert np.all(np.isfinite(x.grad))
+    np.testing.assert_allclose(x.grad, [0.0, 0.5 * 0.5 ** -0.5, 0.5 * 2.0 ** -0.5])
+    # Away from zero the guard must not change anything: plain gradcheck.
+    rng = np.random.default_rng(3)
+    positive = np.abs(rng.normal(size=(3, 2))) + 0.5
+    check_gradients(lambda t: t ** 0.7, positive, seed=3)
+
+
+# --------------------------------------------------------------------- #
 # Modules: gradients with respect to every registered parameter
 # --------------------------------------------------------------------- #
 def check_module_gradients(module: Module, x: np.ndarray, seed: int = 0) -> None:
