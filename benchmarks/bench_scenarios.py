@@ -3,14 +3,25 @@
 
 Writes ``BENCH_scenarios.json`` with per-(scenario, severity, method)
 PEHE / ATE-error aggregates and cross-severity degradation slopes for every
-registered scenario (overlap violation, hidden confounding, outcome-noise
-pathologies, sparse high-dimensional covariates, nonlinear surfaces and
-label flip noise).
+registered scenario — the original six axes (overlap violation, hidden
+confounding, outcome-noise pathologies, sparse high-dimensional covariates,
+nonlinear surfaces, label flip noise) plus instrument decay, covariate
+measurement error, temporal drift, selection on the outcome and the
+compound overlap x hidden-confounding interaction.
 
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/bench_scenarios.py            # full-severity run
     PYTHONPATH=src python benchmarks/bench_scenarios.py --smoke    # CI seconds-scale run
+
+    # parallel==serial gate (CI scheduler-smoke): compare cell metrics
+    # against a previously written record and fail on any difference
+    PYTHONPATH=src python benchmarks/bench_scenarios.py --smoke \
+        --n-jobs 2 --scheduler cross-cell --check-against BENCH_scenarios_smoke.json
+
+    # grid-level wall-clock comparison: run the grid serially AND through
+    # the cross-cell scheduler at the same seed, verify equality, record both
+    PYTHONPATH=src python benchmarks/bench_scenarios.py --compare-scheduler-jobs 4
 
 Like ``bench_training.py`` this is a plain script executed in CI on every
 push; the JSON is uploaded as an artifact so the robustness trajectory is
@@ -20,20 +31,32 @@ tracked per PR.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+import time
 
 # Allow running straight from a checkout without installation.
 _SRC = os.path.abspath(os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"))
 if os.path.isdir(_SRC) and _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
+from dataclasses import replace  # noqa: E402
+
 from repro.experiments.scenario_suite import (  # noqa: E402
     ScenarioSuiteConfig,
+    compare_scenario_records,
     format_scenario_suite,
+    report_error_cells,
     run_scenario_suite,
     write_scenario_suite,
 )
+
+
+def _timed_run(config: ScenarioSuiteConfig):
+    start = time.perf_counter()
+    result = run_scenario_suite(config)
+    return result, time.perf_counter() - start
 
 
 def main(argv=None) -> int:
@@ -54,11 +77,40 @@ def main(argv=None) -> int:
     parser.add_argument("--n-jobs", type=int, default=1)
     parser.add_argument("--seed", type=int, default=2024)
     parser.add_argument(
+        "--scheduler",
+        choices=("per-cell", "cross-cell"),
+        default=None,
+        help="grid execution strategy (default: cross-cell when --n-jobs > 1)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        help="JSONL checkpoint to write (and resume from, if it exists)",
+    )
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        metavar="RECORD",
+        help="fail if cell metrics differ from this previously written record "
+        "(the CI parallel==serial scheduler gate)",
+    )
+    parser.add_argument(
+        "--compare-scheduler-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also run the grid serially and through the cross-cell scheduler "
+        "at N jobs, verify their cells agree, and record both wall-clocks",
+    )
+    parser.add_argument(
         "--output",
         default=os.path.join(os.path.dirname(_SRC), "BENCH_scenarios.json"),
         help="where to write the JSON record (default: repo root)",
     )
     args = parser.parse_args(argv)
+
+    if args.scheduler == "per-cell" and args.checkpoint is not None:
+        parser.error("--checkpoint requires the cross-cell scheduler")
 
     config = ScenarioSuiteConfig.from_options(
         smoke=args.smoke,
@@ -68,12 +120,64 @@ def main(argv=None) -> int:
         replications=args.replications,
         n_jobs=args.n_jobs,
         seed=args.seed,
+        scheduler=args.scheduler,
+        checkpoint=args.checkpoint,
     )
-    result = run_scenario_suite(config)
+
+    if args.compare_scheduler_jobs is not None:
+        # Both comparison legs must actually execute the grid — a resumed
+        # checkpoint would replay units from disk and time JSONL parsing
+        # instead of the scheduler.
+        serial_config = replace(config, n_jobs=1, scheduler="per-cell", checkpoint=None)
+        parallel_config = replace(
+            config,
+            n_jobs=args.compare_scheduler_jobs,
+            scheduler="cross-cell",
+            checkpoint=None,
+        )
+        print("running the grid serially (per-cell scheduler)...")
+        result, serial_seconds = _timed_run(serial_config)
+        print(f"serial grid: {serial_seconds:.1f}s; re-running through the "
+              f"cross-cell scheduler at n_jobs={args.compare_scheduler_jobs}...")
+        parallel_result, parallel_seconds = _timed_run(parallel_config)
+        differences = compare_scenario_records(result, parallel_result)
+        if differences:
+            print("cross-cell scheduler diverged from the serial grid:", file=sys.stderr)
+            for difference in differences:
+                print(f"  {difference}", file=sys.stderr)
+            return 1
+        result["scheduler_comparison"] = {
+            "serial_seconds": serial_seconds,
+            "cross_cell_seconds": parallel_seconds,
+            "cross_cell_n_jobs": args.compare_scheduler_jobs,
+            "speedup": serial_seconds / parallel_seconds,
+            "cells_identical": True,
+        }
+        print(
+            f"cross-cell grid: {parallel_seconds:.1f}s "
+            f"({serial_seconds / parallel_seconds:.2f}x vs serial, cells identical)"
+        )
+    else:
+        result, _ = _timed_run(config)
+
     print(format_scenario_suite(result))
+
+    if args.check_against is not None:
+        with open(args.check_against, encoding="utf-8") as handle:
+            reference = json.load(handle)
+        differences = compare_scenario_records(reference, result)
+        if differences:
+            print(
+                f"cell metrics diverged from {args.check_against}:", file=sys.stderr
+            )
+            for difference in differences:
+                print(f"  {difference}", file=sys.stderr)
+            return 1
+        print(f"cell metrics identical to {args.check_against}")
+
     path = write_scenario_suite(result, args.output)
     print(f"\nwrote {path}")
-    return 0
+    return report_error_cells(result)
 
 
 if __name__ == "__main__":

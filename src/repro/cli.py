@@ -20,6 +20,7 @@ API, so anything it does can also be done programmatically.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Dict, Optional, Sequence
@@ -168,6 +169,23 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios.add_argument("--replications", type=int, default=1)
     scenarios.add_argument("--n-jobs", type=int, default=1)
     scenarios.add_argument("--seed", type=int, default=2024)
+    scenarios.add_argument(
+        "--scheduler",
+        choices=("per-cell", "cross-cell"),
+        default=None,
+        help="grid execution strategy (default: cross-cell when --n-jobs > 1)",
+    )
+    scenarios.add_argument(
+        "--checkpoint",
+        default=None,
+        help="JSONL checkpoint to write (and resume from, if it exists)",
+    )
+    scenarios.add_argument(
+        "--resume",
+        default=None,
+        metavar="CHECKPOINT",
+        help="resume from an existing JSONL checkpoint (must already exist)",
+    )
     scenarios.add_argument(
         "--output", default=None, help="write the JSON record to this path"
     )
@@ -384,10 +402,20 @@ def _command_scenarios(args: argparse.Namespace) -> int:
     from .experiments.scenario_suite import (
         ScenarioSuiteConfig,
         format_scenario_suite,
+        report_error_cells,
         run_scenario_suite,
         write_scenario_suite,
     )
 
+    checkpoint = args.checkpoint
+    if args.resume is not None:
+        if checkpoint is not None and checkpoint != args.resume:
+            raise SystemExit("--resume and --checkpoint point at different files")
+        if not os.path.exists(args.resume):
+            raise SystemExit(f"--resume checkpoint {args.resume!r} does not exist")
+        checkpoint = args.resume
+    if args.scheduler == "per-cell" and checkpoint is not None:
+        raise SystemExit("--checkpoint/--resume require the cross-cell scheduler")
     config = ScenarioSuiteConfig.from_options(
         smoke=args.smoke,
         scenario_names=args.scenario_names,
@@ -396,12 +424,14 @@ def _command_scenarios(args: argparse.Namespace) -> int:
         replications=args.replications,
         n_jobs=args.n_jobs,
         seed=args.seed,
+        scheduler=args.scheduler,
+        checkpoint=checkpoint,
     )
     result = run_scenario_suite(config)
     print(format_scenario_suite(result))
     if args.output is not None:
         print(f"wrote {write_scenario_suite(result, args.output)}")
-    return 0
+    return report_error_cells(result)
 
 
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {

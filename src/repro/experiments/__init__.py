@@ -21,6 +21,7 @@ from .runner import (
     MethodResult,
     MethodSpec,
     default_method_grid,
+    resolve_n_jobs,
     run_method,
     run_methods,
     run_replications,
@@ -29,10 +30,19 @@ from .runner import (
 from .scenario_suite import (
     ScenarioCellResult,
     ScenarioSuiteConfig,
+    compare_scenario_records,
     degradation_slope,
     format_scenario_suite,
     run_scenario_suite,
+    scenario_cell_metrics,
     write_scenario_suite,
+)
+from .scheduler import (
+    CheckpointError,
+    UnitOutcome,
+    WorkUnit,
+    plan_units,
+    run_cross_cell,
 )
 from .search import SearchSpace, SearchTrial, random_search
 from .autodiff_benchmark import benchmark_autodiff
@@ -59,7 +69,13 @@ __all__ = [
     "run_method",
     "run_methods",
     "run_replications",
+    "resolve_n_jobs",
     "spawn_replication_seeds",
+    "WorkUnit",
+    "UnitOutcome",
+    "CheckpointError",
+    "plan_units",
+    "run_cross_cell",
     "benchmark_training",
     "benchmark_autodiff",
     "check_perf_regression",
@@ -80,6 +96,8 @@ __all__ = [
     "degradation_slope",
     "format_scenario_suite",
     "write_scenario_suite",
+    "scenario_cell_metrics",
+    "compare_scenario_records",
     "SearchSpace",
     "SearchTrial",
     "random_search",

@@ -29,6 +29,7 @@ __all__ = [
     "run_method",
     "run_methods",
     "run_replications",
+    "resolve_n_jobs",
     "spawn_replication_seeds",
     "default_method_grid",
 ]
@@ -125,13 +126,17 @@ def run_method(
     )
 
 
-def _resolve_n_jobs(n_jobs: Optional[int]) -> int:
+def resolve_n_jobs(n_jobs: Optional[int]) -> int:
     """Normalise an ``n_jobs`` argument (``None``/``-1`` mean all cores)."""
     if n_jobs is None or n_jobs == -1:
         return os.cpu_count() or 1
     if n_jobs <= 0:
         raise ValueError("n_jobs must be a positive integer, -1 or None")
     return n_jobs
+
+
+#: Backwards-compatible alias of :func:`resolve_n_jobs` (pre-scheduler name).
+_resolve_n_jobs = resolve_n_jobs
 
 
 def _run_method_task(task: Tuple) -> MethodResult:

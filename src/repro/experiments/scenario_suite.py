@@ -3,35 +3,49 @@ parallel replication machinery and aggregate degradation profiles.
 
 The suite is the stress-test counterpart of the paper-table harness: for
 every registered scenario (:mod:`repro.scenarios`) it sweeps a severity
-grid, trains each method spec on the scenario's training population
-(through :func:`repro.experiments.run_replications`, so replications and
-methods parallelise across ``n_jobs`` workers exactly like the paper
-experiments), evaluates on the scenario's shifted test environments, and
-summarises each (scenario, method) pair with *cross-severity degradation
-slopes* — the least-squares slope of mean PEHE / ATE error against
-severity.  A robust method has a flat profile; a method that silently
-relies on overlap, full observability or Gaussian noise does not.
+grid, trains each method spec on the scenario's training population,
+evaluates on the scenario's shifted test environments, and summarises each
+(scenario, method) pair with *cross-severity degradation slopes* — the
+least-squares slope of mean PEHE / ATE error against severity.  A robust
+method has a flat profile; a method that silently relies on overlap, full
+observability or Gaussian noise does not.
 
-``benchmarks/bench_scenarios.py`` wraps this module as the CI smoke job;
-``repro scenarios`` exposes it from the CLI; the committed
-``BENCH_scenarios.json`` is a full-severity run.
+Two schedulers drive the grid (``ScenarioSuiteConfig.scheduler``):
+
+* ``per-cell`` — the historical path: one
+  :func:`repro.experiments.run_replications` call per (scenario, severity)
+  cell, parallelising only within the cell;
+* ``cross-cell`` (default whenever ``n_jobs > 1``) — the whole
+  scenario x severity x replication x method grid flattened into one
+  work-unit queue over a single shared worker pool
+  (:mod:`repro.experiments.scheduler`), with per-unit failure isolation
+  and JSONL checkpoint/resume.  Identical seeds flow through both paths,
+  so their records agree bit-for-bit apart from measured wall-clock.
+
+``benchmarks/bench_scenarios.py`` wraps this module as the CI smoke job
+(including the parallel-equals-serial scheduler gate); ``repro scenarios``
+exposes it from the CLI; the committed ``BENCH_scenarios.json`` is a
+full-severity run.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
 import platform
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..registry import scenarios as SCENARIO_REGISTRY
-from ..scenarios import DEFAULT_SEVERITIES, available_scenarios, build_scenario
+from ..scenarios import DEFAULT_SEVERITIES, Scenario, available_scenarios, build_scenario
 from .protocols import experiment_config, get_scale
 from .reporting import format_table
-from .runner import MethodSpec, MethodResult, run_replications
+from .runner import MethodSpec, MethodResult, resolve_n_jobs, run_replications
+from .scheduler import plan_units, run_cross_cell, unit_key
 
 __all__ = [
     "ScenarioSuiteConfig",
@@ -40,7 +54,15 @@ __all__ = [
     "degradation_slope",
     "format_scenario_suite",
     "write_scenario_suite",
+    "scenario_cell_metrics",
+    "compare_scenario_records",
+    "count_error_cells",
+    "report_error_cells",
+    "SCHEDULERS",
 ]
+
+#: The grid-execution strategies ``run_scenario_suite`` understands.
+SCHEDULERS: Tuple[str, ...] = ("per-cell", "cross-cell")
 
 
 @dataclass
@@ -62,11 +84,32 @@ class ScenarioSuiteConfig:
     scale: str = "smoke"
     methods: Optional[Sequence[MethodSpec]] = None
     dims: Tuple[int, int, int, int] = (4, 4, 4, 2)
+    #: Grid execution strategy: ``"per-cell"``, ``"cross-cell"``, or ``None``
+    #: to pick cross-cell automatically whenever ``n_jobs > 1`` (or a
+    #: checkpoint is requested).
+    scheduler: Optional[str] = None
+    #: JSONL checkpoint path for the cross-cell scheduler; an existing
+    #: matching checkpoint is resumed, completed units are not recomputed.
+    checkpoint: Optional[str] = None
 
     def resolved_scenarios(self) -> List[str]:
         if self.scenario_names is None:
             return available_scenarios()
         return [SCENARIO_REGISTRY.resolve(name) for name in self.scenario_names]
+
+    def resolved_scheduler(self) -> str:
+        """The scheduler the suite will actually use."""
+        if self.scheduler is not None:
+            if self.scheduler not in SCHEDULERS:
+                raise ValueError(
+                    f"unknown scheduler {self.scheduler!r}; available: {list(SCHEDULERS)}"
+                )
+            if self.scheduler == "per-cell" and self.checkpoint is not None:
+                raise ValueError("checkpointing requires the cross-cell scheduler")
+            return self.scheduler
+        if self.checkpoint is not None:
+            return "cross-cell"
+        return "cross-cell" if resolve_n_jobs(self.n_jobs) > 1 else "per-cell"
 
     def resolved_methods(self, seed: int) -> List[MethodSpec]:
         if self.methods is not None:
@@ -87,6 +130,8 @@ class ScenarioSuiteConfig:
         replications: int = 1,
         n_jobs: int = 1,
         seed: int = 2024,
+        scheduler: Optional[str] = None,
+        checkpoint: Optional[str] = None,
     ) -> "ScenarioSuiteConfig":
         """The shared CLI / benchmark-script configuration policy.
 
@@ -109,12 +154,19 @@ class ScenarioSuiteConfig:
             n_jobs=n_jobs,
             seed=seed,
             scale="smoke" if smoke else "default",
+            scheduler=scheduler,
+            checkpoint=checkpoint,
         )
 
 
 @dataclass
 class ScenarioCellResult:
-    """Aggregated metrics of one (scenario, severity, method) cell."""
+    """Aggregated metrics of one (scenario, severity, method) cell.
+
+    ``error`` is ``None`` for a healthy cell; a cell whose work units
+    diverged under the cross-cell scheduler carries the error message and
+    ``None`` metrics instead of killing the grid.
+    """
 
     scenario: str
     severity: float
@@ -127,20 +179,26 @@ class ScenarioCellResult:
     training_seconds: float
     replications: int = 1
     per_environment: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    error: Optional[str] = None
 
     def as_dict(self) -> Dict[str, object]:
+        def clean(value: float) -> Optional[float]:
+            # Error rows carry NaN metrics in memory; emit JSON-safe nulls.
+            return None if isinstance(value, float) and not math.isfinite(value) else value
+
         return {
             "scenario": self.scenario,
             "severity": self.severity,
             "method": self.method,
-            "pehe_mean": self.pehe_mean,
-            "pehe_std": self.pehe_std,
-            "ate_error_mean": self.ate_error_mean,
-            "ate_error_std": self.ate_error_std,
-            "pehe_stability": self.pehe_stability,
+            "pehe_mean": clean(self.pehe_mean),
+            "pehe_std": clean(self.pehe_std),
+            "ate_error_mean": clean(self.ate_error_mean),
+            "ate_error_std": clean(self.ate_error_std),
+            "pehe_stability": clean(self.pehe_stability),
             "training_seconds": self.training_seconds,
             "replications": self.replications,
             "per_environment": self.per_environment,
+            "error": self.error,
         }
 
 
@@ -197,33 +255,39 @@ def _aggregate_cell(
     )
 
 
-def run_scenario_suite(config: Optional[ScenarioSuiteConfig] = None) -> Dict[str, object]:
-    """Run the scenario matrix and return one JSON-serialisable record.
+def _error_cell(
+    scenario: str,
+    severity: float,
+    method: str,
+    replications: int,
+    error: str,
+) -> ScenarioCellResult:
+    """An error row: the cell failed but the grid keeps going."""
+    nan = float("nan")
+    return ScenarioCellResult(
+        scenario=scenario,
+        severity=severity,
+        method=method,
+        pehe_mean=nan,
+        pehe_std=nan,
+        ate_error_mean=nan,
+        ate_error_std=nan,
+        pehe_stability=nan,
+        training_seconds=0.0,
+        replications=replications,
+        per_environment={},
+        error=error,
+    )
 
-    For each scenario and severity, ``config.replications`` independent
-    datasets are built (seeded through the replication machinery's
-    ``SeedSequence`` spawning) and every method spec is fitted on each —
-    all fanned across ``config.n_jobs`` worker processes by
-    :func:`repro.experiments.run_replications`.
-    """
-    config = config if config is not None else ScenarioSuiteConfig()
-    scenario_names = config.resolved_scenarios()
-    if not scenario_names:
-        raise ValueError("no scenarios selected")
-    specs = config.resolved_methods(config.seed)
-    if not specs:
-        raise ValueError("need at least one method spec")
 
-    scenario_records: Dict[str, Dict[str, object]] = {}
-    for scenario_name in scenario_names:
-        scenario = build_scenario(scenario_name, dims=config.dims)
-        severities = tuple(
-            config.severities if config.severities is not None else scenario.default_severities
-        )
-        if not severities:
-            raise ValueError("need at least one severity")
-        severities = tuple(scenario.check_severity(s) for s in severities)
-
+def _run_grid_per_cell(
+    scenarios: "Dict[str, Tuple[Scenario, Tuple[float, ...]]]",
+    specs: Sequence[MethodSpec],
+    config: ScenarioSuiteConfig,
+) -> Dict[str, List[ScenarioCellResult]]:
+    """Historical path: one ``run_replications`` call per (scenario, severity)."""
+    cells_by_scenario: Dict[str, List[ScenarioCellResult]] = {}
+    for scenario_name, (scenario, severities) in scenarios.items():
         cells: List[ScenarioCellResult] = []
         for severity in severities:
 
@@ -245,21 +309,143 @@ def run_scenario_suite(config: Optional[ScenarioSuiteConfig] = None) -> Dict[str
                 cells.append(
                     _aggregate_cell(scenario_name, severity, spec.name, method_results)
                 )
+        cells_by_scenario[scenario_name] = cells
+    return cells_by_scenario
 
-        degradation: Dict[str, Dict[str, float]] = {}
+
+def _run_grid_cross_cell(
+    scenarios: "Dict[str, Tuple[Scenario, Tuple[float, ...]]]",
+    specs: Sequence[MethodSpec],
+    config: ScenarioSuiteConfig,
+) -> Dict[str, List[ScenarioCellResult]]:
+    """Flattened path: the whole grid through one shared worker pool."""
+    units = plan_units(
+        {name: severities for name, (_, severities) in scenarios.items()},
+        specs,
+        replications=config.replications,
+        seed=config.seed,
+        num_samples=config.num_samples,
+        dims=config.dims,
+    )
+    outcomes = run_cross_cell(units, n_jobs=config.n_jobs, checkpoint=config.checkpoint)
+
+    cells_by_scenario: Dict[str, List[ScenarioCellResult]] = {}
+    for scenario_name, (_, severities) in scenarios.items():
+        cells: List[ScenarioCellResult] = []
+        for severity in severities:
+            for index, spec in enumerate(specs):
+                unit_outcomes = [
+                    outcomes[unit_key(scenario_name, severity, replication, index)]
+                    for replication in range(config.replications)
+                ]
+                errors = [
+                    f"replication {outcome.unit.replication}: {outcome.error}"
+                    for outcome in unit_outcomes
+                    if not outcome.ok
+                ]
+                if errors:
+                    cells.append(
+                        _error_cell(
+                            scenario_name,
+                            severity,
+                            spec.name,
+                            config.replications,
+                            "; ".join(errors),
+                        )
+                    )
+                else:
+                    cells.append(
+                        _aggregate_cell(
+                            scenario_name,
+                            severity,
+                            spec.name,
+                            [outcome.result for outcome in unit_outcomes],
+                        )
+                    )
+        cells_by_scenario[scenario_name] = cells
+    return cells_by_scenario
+
+
+def run_scenario_suite(config: Optional[ScenarioSuiteConfig] = None) -> Dict[str, object]:
+    """Run the scenario matrix and return one JSON-serialisable record.
+
+    For each scenario and severity, ``config.replications`` independent
+    datasets are built (seeded through the replication machinery's
+    ``SeedSequence`` spawning) and every method spec is fitted on each.
+    With the per-cell scheduler the work fans through
+    :func:`repro.experiments.run_replications` one cell at a time; with the
+    cross-cell scheduler (the default at ``n_jobs > 1``) the whole grid
+    shares one worker pool, failures isolate to error rows, and a JSONL
+    checkpoint makes long grids resumable — with identical cell metrics
+    either way at a fixed seed.
+    """
+    config = config if config is not None else ScenarioSuiteConfig()
+    scenario_names = config.resolved_scenarios()
+    if not scenario_names:
+        raise ValueError("no scenarios selected")
+    specs = config.resolved_methods(config.seed)
+    if not specs:
+        raise ValueError("need at least one method spec")
+    scheduler = config.resolved_scheduler()
+
+    scenarios: Dict[str, Tuple[Scenario, Tuple[float, ...]]] = {}
+    for scenario_name in scenario_names:
+        scenario = build_scenario(scenario_name, dims=config.dims)
+        severities = tuple(
+            config.severities if config.severities is not None else scenario.default_severities
+        )
+        if not severities:
+            raise ValueError("need at least one severity")
+        severities = tuple(scenario.check_severity(s) for s in severities)
+        scenarios[scenario_name] = (scenario, severities)
+
+    if scheduler == "cross-cell":
+        cells_by_scenario = _run_grid_cross_cell(scenarios, specs, config)
+    else:
+        cells_by_scenario = _run_grid_per_cell(scenarios, specs, config)
+
+    scenario_records: Dict[str, Dict[str, object]] = {}
+    for scenario_name, (scenario, severities) in scenarios.items():
+        cells = cells_by_scenario[scenario_name]
+        degradation: Dict[str, Dict[str, Optional[float]]] = {}
         for spec in specs:
-            rows = [cell for cell in cells if cell.method == spec.name]
+            rows = [
+                cell
+                for cell in cells
+                if cell.method == spec.name and cell.error is None
+            ]
             rows.sort(key=lambda cell: cell.severity)
-            degradation[spec.name] = {
-                "pehe_slope": degradation_slope(
-                    [cell.severity for cell in rows], [cell.pehe_mean for cell in rows]
-                ),
-                "ate_error_slope": degradation_slope(
-                    [cell.severity for cell in rows], [cell.ate_error_mean for cell in rows]
-                ),
-                "pehe_at_zero": rows[0].pehe_mean,
-                "pehe_at_max": rows[-1].pehe_mean,
-            }
+            if rows:
+                degradation[spec.name] = {
+                    "pehe_slope": degradation_slope(
+                        [cell.severity for cell in rows], [cell.pehe_mean for cell in rows]
+                    ),
+                    "ate_error_slope": degradation_slope(
+                        [cell.severity for cell in rows],
+                        [cell.ate_error_mean for cell in rows],
+                    ),
+                    # The endpoint anchors are only reported when their cell
+                    # actually survived — an errored edge cell must not let
+                    # a mid-severity value masquerade as the benign/extreme
+                    # baseline.
+                    "pehe_at_zero": (
+                        rows[0].pehe_mean
+                        if rows[0].severity == min(severities)
+                        else None
+                    ),
+                    "pehe_at_max": (
+                        rows[-1].pehe_mean
+                        if rows[-1].severity == max(severities)
+                        else None
+                    ),
+                }
+            else:  # every cell of this method errored
+                degradation[spec.name] = {
+                    "pehe_slope": None,
+                    "ate_error_slope": None,
+                    "pehe_at_zero": None,
+                    "pehe_at_max": None,
+                }
 
         scenario_records[scenario_name] = {
             "description": scenario.describe(),
@@ -284,6 +470,8 @@ def run_scenario_suite(config: Optional[ScenarioSuiteConfig] = None) -> Dict[str
             "dims": list(config.dims),
             "methods": [spec.name for spec in specs],
             "scenarios": scenario_names,
+            "scheduler": scheduler,
+            "checkpoint": config.checkpoint,
         },
         "scenarios": scenario_records,
     }
@@ -297,8 +485,8 @@ def format_scenario_suite(result: Mapping[str, object]) -> str:
             [
                 cell["method"],
                 cell["severity"],
-                cell["pehe_mean"],
-                cell["ate_error_mean"],
+                "ERROR" if cell.get("error") else cell["pehe_mean"],
+                "ERROR" if cell.get("error") else cell["ate_error_mean"],
                 cell["training_seconds"],
             ]
             for cell in record["cells"]
@@ -338,3 +526,98 @@ def write_scenario_suite(result: Mapping[str, object], path: str) -> str:
         json.dump(result, handle, indent=2)
         handle.write("\n")
     return path
+
+
+def count_error_cells(record: Mapping[str, object]) -> Tuple[int, int]:
+    """``(error_cells, total_cells)`` of a suite record.
+
+    Failure isolation means a grid full of diverging cells still returns a
+    record; the CLI and benchmark entry points use this count (via
+    :func:`report_error_cells`) to warn on partial failure and exit
+    non-zero when *every* cell failed (e.g. a custom scenario that spawned
+    workers cannot import).
+    """
+    errors = 0
+    total = 0
+    for scenario_record in record["scenarios"].values():
+        for cell in scenario_record["cells"]:
+            total += 1
+            if cell.get("error"):
+                errors += 1
+    return errors, total
+
+
+def report_error_cells(record: Mapping[str, object], stream=None) -> int:
+    """Warn about error cells on ``stream`` (default stderr); returns the
+    exit code both entry points share: 1 when every cell failed, else 0."""
+    stream = stream if stream is not None else sys.stderr
+    errors, total = count_error_cells(record)
+    if not errors:
+        return 0
+    print(
+        f"warning: {errors}/{total} cells reported errors "
+        f"(see the 'error' field of each cell)",
+        file=stream,
+    )
+    if errors == total:
+        print("error: every cell in the grid failed", file=stream)
+        return 1
+    return 0
+
+
+def scenario_cell_metrics(record: Mapping[str, object]) -> Dict[str, Dict[str, object]]:
+    """Every cell of a suite record, keyed and with wall-clock stripped.
+
+    This is the canonical "did two runs compute the same thing" view: the
+    cross-cell scheduler must reproduce the serial path bit-for-bit except
+    for ``training_seconds``, which is measured wall-clock and therefore
+    machine noise.
+    """
+    rows: Dict[str, Dict[str, object]] = {}
+    for name, scenario_record in record["scenarios"].items():
+        for cell in scenario_record["cells"]:
+            key = f"{name}|severity={cell['severity']:g}|method={cell['method']}"
+            rows[key] = {
+                field_name: value
+                for field_name, value in cell.items()
+                if field_name != "training_seconds"
+            }
+    return rows
+
+
+def compare_scenario_records(
+    a: Mapping[str, object], b: Mapping[str, object]
+) -> List[str]:
+    """Differences between two suite records' cell metrics (empty = equal).
+
+    Compares every (scenario, severity, method) cell field-by-field —
+    excluding measured wall-clock — plus the degradation summaries, and
+    returns human-readable difference descriptions.  Used by the pytest
+    parallel==serial regression and by ``bench_scenarios.py
+    --check-against`` (the CI scheduler-smoke gate).
+    """
+    differences: List[str] = []
+    rows_a = scenario_cell_metrics(a)
+    rows_b = scenario_cell_metrics(b)
+    for key in sorted(set(rows_a) | set(rows_b)):
+        if key not in rows_a:
+            differences.append(f"{key}: missing from first record")
+            continue
+        if key not in rows_b:
+            differences.append(f"{key}: missing from second record")
+            continue
+        row_a, row_b = rows_a[key], rows_b[key]
+        for field_name in sorted(set(row_a) | set(row_b)):
+            if row_a.get(field_name) != row_b.get(field_name):
+                differences.append(
+                    f"{key}: {field_name} differs "
+                    f"({row_a.get(field_name)!r} != {row_b.get(field_name)!r})"
+                )
+    scenarios_a = a.get("scenarios", {})
+    scenarios_b = b.get("scenarios", {})
+    for name in sorted(set(scenarios_a) | set(scenarios_b)):
+        degradation_a = scenarios_a.get(name, {}).get("degradation")
+        degradation_b = scenarios_b.get(name, {}).get("degradation")
+        if degradation_a != degradation_b:
+            differences.append(f"{name}: degradation summary differs")
+    return differences

@@ -1,0 +1,402 @@
+"""Cross-cell scheduler: one work-unit queue over the whole scenario grid.
+
+The per-cell path of :func:`repro.experiments.run_scenario_suite` loops over
+(scenario, severity) cells serially and only parallelises the replications
+*within* a cell, so a full-severity grid on multi-core hardware leaves most
+workers idle whenever a cell has fewer tasks than cores.  This module
+flattens the entire ``scenario x severity x replication x method`` grid into
+:class:`WorkUnit` records and drives them through a single shared
+``ProcessPoolExecutor``:
+
+* **Seed parity** — every unit's dataset seed comes from the same
+  :func:`~repro.experiments.runner.spawn_replication_seeds` spawning the
+  serial path uses, and each worker rebuilds its scenario cell from that
+  seed, so the cross-cell schedule is bit-for-bit identical to the serial
+  sweep at a fixed suite seed (pinned by ``tests/test_scheduler.py`` and
+  re-checked in CI by the scheduler-smoke gate).
+* **Failure isolation** — a diverging unit records an error outcome instead
+  of killing the grid; the suite reports the cell as an error row.
+* **Checkpoint / resume** — each completed unit is appended to a JSONL
+  checkpoint; re-running with the same checkpoint path skips completed
+  units (failed units are retried), so long grids survive interruption.
+
+Workers rebuild scenarios from :data:`repro.registry.scenarios` by name, so
+— exactly like :func:`~repro.experiments.runner.run_methods` — custom
+scenarios must be registered at import time of a module the workers can
+import, not interactively, under the ``spawn``/``forkserver`` start methods.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, IO, List, Mapping, Optional, Sequence, Tuple
+
+from ..metrics.evaluation import EnvironmentReport, StabilityReport
+from ..scenarios import build_scenario
+from .runner import (
+    MethodResult,
+    MethodSpec,
+    resolve_n_jobs,
+    run_method,
+    spawn_replication_seeds,
+)
+
+__all__ = [
+    "WorkUnit",
+    "UnitOutcome",
+    "CheckpointError",
+    "unit_key",
+    "plan_units",
+    "run_cross_cell",
+    "serialize_method_result",
+    "deserialize_method_result",
+]
+
+#: ``kind`` field of the JSONL checkpoint header line.
+CHECKPOINT_KIND = "scenario-scheduler-checkpoint"
+
+
+def unit_key(scenario: str, severity: float, replication: int, method_index: int) -> str:
+    """Stable identifier of one work unit (grouping + checkpoint lines)."""
+    return (
+        f"{scenario}|severity={severity:g}"
+        f"|replication={replication}|method={method_index}"
+    )
+
+
+class CheckpointError(ValueError):
+    """Raised when a checkpoint file does not match the planned grid."""
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One schedulable unit: (scenario, severity, replication, method).
+
+    ``replication_seed`` is the :class:`numpy.random.SeedSequence`-spawned
+    seed of this unit's replication — identical to what the serial path
+    hands its protocol builder, which is what makes cross-cell execution
+    bit-for-bit reproducible against the serial sweep.
+    """
+
+    scenario: str
+    severity: float
+    replication: int
+    replication_seed: int
+    method_index: int
+    spec: MethodSpec
+    num_samples: int
+    dims: Tuple[int, int, int, int]
+
+    @property
+    def key(self) -> str:
+        """Stable identifier used for grouping and checkpoint lines."""
+        return unit_key(self.scenario, self.severity, self.replication, self.method_index)
+
+
+@dataclass
+class UnitOutcome:
+    """Result (or failure) of one work unit."""
+
+    unit: WorkUnit
+    result: Optional[MethodResult] = None
+    error: Optional[str] = None
+    from_checkpoint: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def plan_units(
+    scenario_severities: Mapping[str, Sequence[float]],
+    specs: Sequence[MethodSpec],
+    replications: int,
+    seed: int,
+    num_samples: int,
+    dims: Sequence[int],
+) -> List[WorkUnit]:
+    """Flatten the grid into work units with serial-identical seeds.
+
+    The replication seeds are spawned once from the suite seed — the same
+    list for every (scenario, severity) cell, exactly as the serial path's
+    repeated :func:`run_replications` calls see them.
+    """
+    if not scenario_severities:
+        raise ValueError("no scenarios selected")
+    if not specs:
+        raise ValueError("need at least one method spec")
+    seeds = spawn_replication_seeds(seed, replications)
+    dims = tuple(int(d) for d in dims)
+    units: List[WorkUnit] = []
+    for scenario, severities in scenario_severities.items():
+        if not severities:
+            raise ValueError("need at least one severity")
+        for severity in severities:
+            for replication, replication_seed in enumerate(seeds):
+                for method_index, spec in enumerate(specs):
+                    units.append(
+                        WorkUnit(
+                            scenario=scenario,
+                            severity=float(severity),
+                            replication=replication,
+                            replication_seed=replication_seed,
+                            method_index=method_index,
+                            spec=spec,
+                            num_samples=num_samples,
+                            dims=dims,
+                        )
+                    )
+    return units
+
+
+#: Per-process memo of recently built protocols.  Several units differ only
+#: in their method spec; when the same worker draws them it reuses the
+#: build instead of regenerating identical datasets once per method.  The
+#: build is a pure function of the key, so the cache never changes results.
+_PROTOCOL_CACHE: "OrderedDict[Tuple, Mapping[str, object]]" = OrderedDict()
+_PROTOCOL_CACHE_SIZE = 4
+
+
+def _build_unit_protocol(unit: WorkUnit) -> Mapping[str, object]:
+    key = (unit.scenario, unit.dims, unit.num_samples, unit.severity, unit.replication_seed)
+    protocol = _PROTOCOL_CACHE.get(key)
+    if protocol is None:
+        scenario = build_scenario(unit.scenario, dims=unit.dims)
+        cell = scenario.build(
+            unit.num_samples, unit.severity, seed=unit.replication_seed % (2 ** 31)
+        )
+        protocol = cell.as_protocol()
+        _PROTOCOL_CACHE[key] = protocol
+        while len(_PROTOCOL_CACHE) > _PROTOCOL_CACHE_SIZE:
+            _PROTOCOL_CACHE.popitem(last=False)
+    else:
+        _PROTOCOL_CACHE.move_to_end(key)
+    return protocol
+
+
+def _execute_unit(unit: WorkUnit) -> MethodResult:
+    """Top-level worker (must be picklable for ProcessPoolExecutor).
+
+    Builds the scenario cell *in the worker* — the build is a pure function
+    of ``(scenario, dims, num_samples, severity, seed)``, so the datasets
+    are identical to the parent-built serial ones while dataset construction
+    parallelises along with training.
+    """
+    protocol = _build_unit_protocol(unit)
+    return run_method(
+        unit.spec,
+        protocol["train"],
+        protocol["test_environments"],
+        protocol.get("validation"),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Checkpoint serialisation
+# ---------------------------------------------------------------------- #
+def serialize_method_result(result: MethodResult) -> Dict[str, object]:
+    """The JSON shape of one unit result.
+
+    Python's ``json`` round-trips floats exactly (shortest-repr), so a
+    resumed grid aggregates to bit-identical cells.  Training history is
+    not checkpointed — the suite's aggregates never read it.
+    """
+    stability = result.stability
+    return {
+        "per_environment": result.per_environment,
+        "stability": {
+            "mean": stability.mean,
+            "stability": stability.stability,
+            "std": stability.std,
+            "per_environment": [
+                {"environment": report.environment, "metrics": report.metrics}
+                for report in stability.per_environment
+            ],
+        },
+        "training_seconds": result.training_seconds,
+    }
+
+
+def deserialize_method_result(payload: Mapping[str, object], spec: MethodSpec) -> MethodResult:
+    """Inverse of :func:`serialize_method_result` (spec re-attached by key)."""
+    stability = payload["stability"]
+    return MethodResult(
+        spec=spec,
+        per_environment={
+            str(name): dict(metrics)
+            for name, metrics in payload["per_environment"].items()
+        },
+        stability=StabilityReport(
+            mean=dict(stability["mean"]),
+            stability=dict(stability["stability"]),
+            std=dict(stability["std"]),
+            per_environment=[
+                EnvironmentReport(
+                    environment=str(report["environment"]), metrics=dict(report["metrics"])
+                )
+                for report in stability["per_environment"]
+            ],
+        ),
+        training_seconds=float(payload["training_seconds"]),
+        history={},
+    )
+
+
+def checkpoint_fingerprint(units: Sequence[WorkUnit]) -> str:
+    """Digest of the planned grid, pinned in the checkpoint header.
+
+    Covers every unit's key, seed, sample count, dims and the *full* method
+    spec (``MethodSpec`` is a dataclass of scalars and nested config
+    dataclasses, so its repr captures backbone, framework, ablation flags,
+    seed and every training knob), so a checkpoint can only resume the
+    exact grid it was written for — not a same-named method trained at a
+    different scale.
+    """
+    lines = sorted(
+        f"{unit.key}|{unit.replication_seed}|{unit.num_samples}"
+        f"|{unit.dims}|{unit.spec!r}"
+        for unit in units
+    )
+    return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+
+
+def _load_checkpoint(
+    path: str,
+    by_key: Mapping[str, WorkUnit],
+    fingerprint: str,
+) -> Dict[str, UnitOutcome]:
+    """Completed outcomes from an existing checkpoint (tolerant of a
+    truncated trailing line, which is what a killed run leaves behind)."""
+    outcomes: Dict[str, UnitOutcome] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        return outcomes
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"{path} has an unreadable header line: {exc}") from exc
+    if header.get("kind") != CHECKPOINT_KIND:
+        raise CheckpointError(
+            f"{path} is not a scenario-scheduler checkpoint (kind={header.get('kind')!r})"
+        )
+    if header.get("fingerprint") != fingerprint:
+        raise CheckpointError(
+            f"{path} was written for a different grid (seed, scenarios, severities, "
+            f"methods, sample count or dims changed); refusing to resume"
+        )
+    for line in lines[1:]:
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            # A partially written final line from an interrupted run.
+            continue
+        key = record.get("key")
+        if key not in by_key:
+            raise CheckpointError(f"{path} records unknown work unit {key!r}")
+        unit = by_key[key]
+        if record.get("ok"):
+            outcomes[key] = UnitOutcome(
+                unit=unit,
+                result=deserialize_method_result(record["result"], unit.spec),
+                from_checkpoint=True,
+            )
+        # Failed units are retried on resume: only successes are replayed.
+    return outcomes
+
+
+def _checkpoint_line(handle: IO[str], record: Mapping[str, object]) -> None:
+    handle.write(json.dumps(record) + "\n")
+    handle.flush()
+
+
+def run_cross_cell(
+    units: Sequence[WorkUnit],
+    n_jobs: int = 1,
+    checkpoint: Optional[str] = None,
+) -> Dict[str, UnitOutcome]:
+    """Run the flattened grid through one shared worker pool.
+
+    Returns ``{unit.key: UnitOutcome}`` for every planned unit.  A unit
+    that raises is recorded as an error outcome (the grid keeps going);
+    with ``checkpoint`` set, every completed unit is appended to the JSONL
+    file as it finishes, and an existing matching checkpoint is resumed —
+    completed units are replayed from disk instead of recomputed.
+    """
+    n_jobs = resolve_n_jobs(n_jobs)
+    by_key = {unit.key: unit for unit in units}
+    if len(by_key) != len(units):
+        raise ValueError("work-unit keys must be unique")
+    fingerprint = checkpoint_fingerprint(units)
+
+    outcomes: Dict[str, UnitOutcome] = {}
+    handle: Optional[IO[str]] = None
+    if checkpoint is not None:
+        if os.path.exists(checkpoint) and os.path.getsize(checkpoint) > 0:
+            outcomes = _load_checkpoint(checkpoint, by_key, fingerprint)
+            with open(checkpoint, "rb") as probe:
+                probe.seek(-1, os.SEEK_END)
+                torn_tail = probe.read(1) != b"\n"
+            handle = open(checkpoint, "a", encoding="utf-8")
+            if torn_tail:
+                # A killed run left a partial final line; terminate it so
+                # the next record starts on its own line instead of being
+                # concatenated into the fragment (and lost on re-load).
+                handle.write("\n")
+        else:
+            handle = open(checkpoint, "w", encoding="utf-8")
+            _checkpoint_line(
+                handle, {"kind": CHECKPOINT_KIND, "fingerprint": fingerprint}
+            )
+
+    pending = [unit for unit in units if unit.key not in outcomes]
+
+    def record(unit: WorkUnit, result: Optional[MethodResult], error: Optional[str]) -> None:
+        outcomes[unit.key] = UnitOutcome(unit=unit, result=result, error=error)
+        if handle is None:
+            return
+        if error is None:
+            payload = {"key": unit.key, "ok": True, "result": serialize_method_result(result)}
+        else:
+            payload = {"key": unit.key, "ok": False, "error": error}
+        _checkpoint_line(handle, payload)
+
+    try:
+        if n_jobs == 1 or len(pending) <= 1:
+            for unit in pending:
+                try:
+                    record(unit, _execute_unit(unit), None)
+                except Exception as exc:  # noqa: BLE001 - failure isolation
+                    record(unit, None, f"{type(exc).__name__}: {exc}")
+        else:
+            with ProcessPoolExecutor(max_workers=min(n_jobs, len(pending))) as pool:
+                futures = {pool.submit(_execute_unit, unit): unit for unit in pending}
+                for future in as_completed(futures):
+                    unit = futures[future]
+                    exc = future.exception()
+                    if isinstance(exc, BrokenProcessPool):
+                        # A dead worker (OOM-kill, segfault) breaks every
+                        # pending future — that is an infrastructure
+                        # failure, not a diverging cell, so surface it
+                        # instead of stamping the rest of the grid as
+                        # error rows.
+                        raise RuntimeError(
+                            "worker pool collapsed (a worker process died, "
+                            "e.g. OOM-killed) — completed units are in the "
+                            "checkpoint; rerun with the same checkpoint to "
+                            "resume"
+                        ) from exc
+                    if exc is not None:
+                        record(unit, None, f"{type(exc).__name__}: {exc}")
+                    else:
+                        record(unit, future.result(), None)
+    finally:
+        if handle is not None:
+            handle.close()
+    return outcomes

@@ -11,6 +11,8 @@ from .base import (
     BASE_TEST_RHOS,
     BASE_TRAIN_RHO,
     DEFAULT_SEVERITIES,
+    STAGE_COVARIATE_VIEW,
+    STAGE_STRUCTURAL,
     Scenario,
     ScenarioProtocol,
     available_scenarios,
@@ -18,12 +20,17 @@ from .base import (
     rebuild_dataset,
 )
 from .library import (
+    CompoundScenario,
     HiddenConfoundingScenario,
+    InstrumentDecayScenario,
     LabelFlipScenario,
+    MeasurementErrorScenario,
     NonlinearOutcomeScenario,
     OutcomeNoiseScenario,
+    OutcomeSelectionScenario,
     OverlapViolationScenario,
     SparseHighDimScenario,
+    TemporalDriftScenario,
 )
 
 __all__ = [
@@ -36,10 +43,17 @@ __all__ = [
     "BASE_DIMS",
     "BASE_TEST_RHOS",
     "BASE_TRAIN_RHO",
+    "STAGE_STRUCTURAL",
+    "STAGE_COVARIATE_VIEW",
     "OverlapViolationScenario",
     "HiddenConfoundingScenario",
     "OutcomeNoiseScenario",
     "SparseHighDimScenario",
     "NonlinearOutcomeScenario",
     "LabelFlipScenario",
+    "InstrumentDecayScenario",
+    "MeasurementErrorScenario",
+    "TemporalDriftScenario",
+    "OutcomeSelectionScenario",
+    "CompoundScenario",
 ]

@@ -10,7 +10,10 @@ environment mechanism so every scenario still produces a train population
 plus a suite of shifted test environments.
 
 Scenarios live in the unified component registry
-(:data:`repro.registry.scenarios`); user code can plug in new ones::
+(:data:`repro.registry.scenarios`); user code can plug in new ones by
+implementing :meth:`Scenario.apply` — a pure transform of an already
+materialised protocol — which also makes the new axis composable through
+the ``compound`` scenario::
 
     from repro.registry import scenarios
     from repro.scenarios import Scenario
@@ -19,9 +22,9 @@ Scenarios live in the unified component registry
     class MyScenario(Scenario):
         name = "my-axis"
 
-        def build(self, num_samples, severity, seed):
-            protocol = self.base_protocol(num_samples, seed)
-            ...  # perturb and return it
+        def apply(self, train, tests, severity, seed):
+            ...  # perturb the datasets
+            return train, tests, {"my-ground-truth": ...}
 
     build_scenario("my-axis").build(500, severity=1.0, seed=0)  # just works
 
@@ -62,6 +65,8 @@ __all__ = [
     "BASE_DIMS",
     "BASE_TEST_RHOS",
     "BASE_TRAIN_RHO",
+    "STAGE_STRUCTURAL",
+    "STAGE_COVARIATE_VIEW",
 ]
 
 #: Severity grid the suite sweeps when the caller does not override it.
@@ -115,12 +120,28 @@ class ScenarioProtocol:
         return protocol
 
 
+#: :attr:`Scenario.stage` value of structural perturbations — transforms
+#: that rewrite treatments or outcomes from the *true* covariate geometry
+#: (overlap sharpening, instrument decay, outcome rewrites, selection).
+STAGE_STRUCTURAL: int = 0
+
+#: :attr:`Scenario.stage` value of covariate-view perturbations — transforms
+#: that change what the estimator *sees* of X (withheld columns, measurement
+#: error, appended nuisance blocks).  In a compound scenario these must come
+#: after every structural perturbation, because the structural equations are
+#: only valid on the unmodified covariate layout.
+STAGE_COVARIATE_VIEW: int = 1
+
+
 class Scenario:
     """Base class for stress-test scenarios.
 
-    Subclasses set :attr:`name` / :attr:`axis` and implement :meth:`build`.
-    ``dims`` selects the base generator dimensions; every other knob is the
-    subclass's own.
+    Subclasses set :attr:`name` / :attr:`axis` and implement :meth:`apply`,
+    a pure transform of an already materialised protocol; the base class's
+    :meth:`build` wires it to the paper's biased-sampling base protocol.
+    (Overriding :meth:`build` directly remains supported but opts the
+    scenario out of ``compound`` composition.)  ``dims`` selects the base
+    generator dimensions; every other knob is the subclass's own.
     """
 
     #: Canonical name (matches the registry key).
@@ -129,6 +150,9 @@ class Scenario:
     axis: str = ""
     #: Severity grid the suite uses unless overridden.
     default_severities: Tuple[float, ...] = DEFAULT_SEVERITIES
+    #: Composition stage: :data:`STAGE_STRUCTURAL` transforms must precede
+    #: :data:`STAGE_COVARIATE_VIEW` transforms inside a compound scenario.
+    stage: int = STAGE_STRUCTURAL
 
     def __init__(self, dims: Sequence[int] = BASE_DIMS) -> None:
         self.dims = tuple(int(d) for d in dims)
@@ -172,9 +196,38 @@ class Scenario:
     # ------------------------------------------------------------------ #
     # Subclass API
     # ------------------------------------------------------------------ #
+    def apply(
+        self,
+        train: CausalDataset,
+        tests: Dict[str, CausalDataset],
+        severity: float,
+        seed: int,
+    ) -> Tuple[CausalDataset, Dict[str, CausalDataset], Dict[str, object]]:
+        """Perturb a materialised protocol; returns ``(train, tests, metadata)``.
+
+        ``tests`` is keyed by environment name (``"rho=2.5"``, ...).  The
+        transform must be a pure function of its arguments and ``seed`` so
+        that builds stay deterministic, and must not mutate the incoming
+        datasets.  ``severity`` has already been validated by :meth:`build`.
+        """
+        raise NotImplementedError
+
     def build(self, num_samples: int, severity: float, seed: int) -> ScenarioProtocol:
         """Materialise one (severity, seed) cell of this scenario."""
-        raise NotImplementedError
+        severity = self.check_severity(severity)
+        protocol = self.base_protocol(num_samples, seed)
+        tests = {
+            f"rho={rho:g}": dataset
+            for rho, dataset in protocol["test_environments"].items()
+        }
+        train, tests, metadata = self.apply(protocol["train"], tests, severity, seed)
+        return ScenarioProtocol(
+            scenario=self.name,
+            severity=severity,
+            train=train,
+            test_environments=tests,
+            metadata=metadata,
+        )
 
     def describe(self) -> Dict[str, object]:
         """Registry-facing description used by the CLI and the benchmark."""

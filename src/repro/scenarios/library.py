@@ -1,9 +1,9 @@
-"""The built-in scenario matrix: six perturbation axes of the paper's DGP.
+"""The built-in scenario matrix: eleven perturbation axes of the paper's DGP.
 
 Each scenario keeps the paper's biased-sampling environment mechanism (the
 train population is the ``rho = 2.5`` biased selection, test environments
-cover both shift directions) and perturbs exactly one aspect of the
-data-generating process, parameterised by ``severity`` in ``[0, 1]``:
+cover both shift directions) and perturbs one aspect of the data-generating
+process, parameterised by ``severity`` in ``[0, 1]``:
 
 ===================  ========================================================
 ``overlap``          treatment logits sharpened so propensities concentrate
@@ -17,7 +17,24 @@ data-generating process, parameterised by ``severity`` in ``[0, 1]``:
                      to a sine/interaction surface
 ``flip-noise``       training-side label noise: recorded treatments and
                      observed outcomes flipped with severity-scaled rates
+``instrument-decay``  the instrument block's contribution to treatment
+                     assignment decays to zero (weak instruments)
+``measurement-error``  observed covariates are the true ones plus
+                     severity-scaled Gaussian measurement noise
+``temporal-drift``   test environments become a time-indexed sequence whose
+                     population drifts toward the flipped environment;
+                     severity scales the drift schedule's amplitude
+``outcome-selection``  low-outcome training units are dropped and replaced by
+                     resampled kept units (selection on the outcome itself)
+``compound``         two registered axes applied in sequence at the same
+                     severity (default: overlap x hidden-confounding)
 ===================  ========================================================
+
+Each scenario implements :meth:`~repro.scenarios.Scenario.apply`, a pure
+transform of a materialised protocol, which is what makes ``compound``
+composition possible: structural transforms (stage 0 — rewriting treatments
+or outcomes from the true covariate geometry) are applied before
+covariate-view transforms (stage 1 — changing what the estimator sees of X).
 
 Severity 0 is always the benign end of the axis; the DGP invariants of every
 scenario (bounds actually violated, withheld columns absent, ...) are pinned
@@ -26,13 +43,21 @@ in ``tests/test_scenarios.py``.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..data.dataset import CausalDataset
 from ..registry import scenarios as SCENARIO_REGISTRY
-from .base import BASE_DIMS, Scenario, ScenarioProtocol, rebuild_dataset
+from .base import (
+    BASE_DIMS,
+    BASE_TRAIN_RHO,
+    STAGE_COVARIATE_VIEW,
+    STAGE_STRUCTURAL,
+    Scenario,
+    build_scenario,
+    rebuild_dataset,
+)
 
 __all__ = [
     "OverlapViolationScenario",
@@ -41,7 +66,15 @@ __all__ = [
     "SparseHighDimScenario",
     "NonlinearOutcomeScenario",
     "LabelFlipScenario",
+    "InstrumentDecayScenario",
+    "MeasurementErrorScenario",
+    "TemporalDriftScenario",
+    "OutcomeSelectionScenario",
+    "CompoundScenario",
 ]
+
+Tests = Dict[str, CausalDataset]
+Applied = Tuple[CausalDataset, Tests, Dict[str, object]]
 
 
 @SCENARIO_REGISTRY.register(
@@ -63,14 +96,13 @@ class OverlapViolationScenario(Scenario):
 
     name = "overlap"
     axis = "propensity pushed toward 0/1"
+    stage = STAGE_STRUCTURAL
     logit_scale: float = 10.0
     #: The overlap band used for reporting: a unit "violates" positivity
     #: when its propensity leaves ``[eta, 1 - eta]``.
     eta: float = 0.05
 
-    def build(self, num_samples: int, severity: float, seed: int) -> ScenarioProtocol:
-        severity = self.check_severity(severity)
-        protocol = self.base_protocol(num_samples, seed)
+    def apply(self, train: CausalDataset, tests: Tests, severity: float, seed: int) -> Applied:
         generator = self.make_generator(seed)
         scale = 1.0 + severity * (self.logit_scale - 1.0)
         rng = np.random.default_rng(seed + 77_001)
@@ -97,26 +129,18 @@ class OverlapViolationScenario(Scenario):
             propensities[key] = propensity
             return rebuild_dataset(dataset, treatment=treatment, outcome=outcome)
 
-        train = sharpen(protocol["train"], "train")
-        tests = {
-            f"rho={rho:g}": sharpen(dataset, f"rho={rho:g}")
-            for rho, dataset in protocol["test_environments"].items()
-        }
-        return ScenarioProtocol(
-            scenario=self.name,
-            severity=severity,
-            train=train,
-            test_environments=tests,
-            metadata={
-                "logit_scale": scale,
-                "eta": self.eta,
-                "propensities": propensities,
-                "violation_fraction": {
-                    name: float(np.mean((p < self.eta) | (p > 1.0 - self.eta)))
-                    for name, p in propensities.items()
-                },
+        train = sharpen(train, "train")
+        tests = {name: sharpen(dataset, name) for name, dataset in tests.items()}
+        metadata = {
+            "logit_scale": scale,
+            "eta": self.eta,
+            "propensities": propensities,
+            "violation_fraction": {
+                name: float(np.mean((p < self.eta) | (p > 1.0 - self.eta)))
+                for name, p in propensities.items()
             },
-        )
+        }
+        return train, tests, metadata
 
 
 @SCENARIO_REGISTRY.register(
@@ -136,6 +160,7 @@ class HiddenConfoundingScenario(Scenario):
 
     name = "hidden-confounding"
     axis = "confounders withheld from X"
+    stage = STAGE_COVARIATE_VIEW
 
     def withheld_count(self, severity: float) -> int:
         num_confounders = self.dims[1]
@@ -143,10 +168,7 @@ class HiddenConfoundingScenario(Scenario):
             return 0
         return max(1, int(np.ceil(severity * num_confounders)))
 
-    def build(self, num_samples: int, severity: float, seed: int) -> ScenarioProtocol:
-        severity = self.check_severity(severity)
-        protocol = self.base_protocol(num_samples, seed)
-        train: CausalDataset = protocol["train"]
+    def apply(self, train: CausalDataset, tests: Tests, severity: float, seed: int) -> Applied:
         roles = train.feature_roles
         num_hidden = self.withheld_count(severity)
         rng = np.random.default_rng(seed + 77_002)
@@ -165,21 +187,13 @@ class HiddenConfoundingScenario(Scenario):
                 dataset, covariates=dataset.covariates[:, keep], feature_roles=new_roles
             )
 
-        tests = {
-            f"rho={rho:g}": withhold(dataset)
-            for rho, dataset in protocol["test_environments"].items()
+        metadata = {
+            "withheld_columns": withheld,
+            "num_original_features": train.num_features,
+            "num_observed_features": int(len(keep)),
         }
-        return ScenarioProtocol(
-            scenario=self.name,
-            severity=severity,
-            train=withhold(train),
-            test_environments=tests,
-            metadata={
-                "withheld_columns": withheld,
-                "num_original_features": train.num_features,
-                "num_observed_features": int(len(keep)),
-            },
-        )
+        tests = {name: withhold(dataset) for name, dataset in tests.items()}
+        return withhold(train), tests, metadata
 
 
 @SCENARIO_REGISTRY.register(
@@ -200,6 +214,7 @@ class OutcomeNoiseScenario(Scenario):
 
     name = "outcome-noise"
     axis = "Student-t outcome noise, covariate-scaled"
+    stage = STAGE_STRUCTURAL
     base_scale: float = 0.2
     hetero_gain: float = 3.0
     df_benign: float = 30.0
@@ -208,9 +223,7 @@ class OutcomeNoiseScenario(Scenario):
     def noise_df(self, severity: float) -> float:
         return self.df_benign + severity * (self.df_severe - self.df_benign)
 
-    def build(self, num_samples: int, severity: float, seed: int) -> ScenarioProtocol:
-        severity = self.check_severity(severity)
-        protocol = self.base_protocol(num_samples, seed)
+    def apply(self, train: CausalDataset, tests: Tests, severity: float, seed: int) -> Applied:
         generator = self.make_generator(seed)
         rng = np.random.default_rng(seed + 77_003)
         df = self.noise_df(severity)
@@ -229,23 +242,15 @@ class OutcomeNoiseScenario(Scenario):
                 dataset, outcome=outcome, mu0=mu0, mu1=mu1, binary_outcome=False
             )
 
-        train = continuify(protocol["train"], "train")
-        tests = {
-            f"rho={rho:g}": continuify(dataset, f"rho={rho:g}")
-            for rho, dataset in protocol["test_environments"].items()
+        train = continuify(train, "train")
+        tests = {name: continuify(dataset, name) for name, dataset in tests.items()}
+        metadata = {
+            "noise_df": df,
+            "base_scale": self.base_scale,
+            "hetero_gain": self.hetero_gain * severity,
+            "noise": noise_record,
         }
-        return ScenarioProtocol(
-            scenario=self.name,
-            severity=severity,
-            train=train,
-            test_environments=tests,
-            metadata={
-                "noise_df": df,
-                "base_scale": self.base_scale,
-                "hetero_gain": self.hetero_gain * severity,
-                "noise": noise_record,
-            },
-        )
+        return train, tests, metadata
 
 
 @SCENARIO_REGISTRY.register(
@@ -265,16 +270,16 @@ class SparseHighDimScenario(Scenario):
 
     name = "sparse-highdim"
     axis = "sparse nuisance covariates appended to X"
+    stage = STAGE_COVARIATE_VIEW
     max_extra_features: int = 64
     density: float = 0.1
 
     def extra_count(self, severity: float) -> int:
         return int(round(severity * self.max_extra_features))
 
-    def build(self, num_samples: int, severity: float, seed: int) -> ScenarioProtocol:
-        severity = self.check_severity(severity)
-        protocol = self.base_protocol(num_samples, seed)
+    def apply(self, train: CausalDataset, tests: Tests, severity: float, seed: int) -> Applied:
         num_extra = self.extra_count(severity)
+        num_base_features = int(train.num_features)
         rng = np.random.default_rng(seed + 77_004)
 
         def widen(dataset: CausalDataset) -> CausalDataset:
@@ -290,22 +295,14 @@ class SparseHighDimScenario(Scenario):
             )
             return rebuild_dataset(dataset, covariates=covariates, feature_roles=roles)
 
-        train = widen(protocol["train"])
-        tests = {
-            f"rho={rho:g}": widen(dataset)
-            for rho, dataset in protocol["test_environments"].items()
+        train = widen(train)
+        tests = {name: widen(dataset) for name, dataset in tests.items()}
+        metadata = {
+            "num_extra_features": num_extra,
+            "density": self.density,
+            "num_base_features": num_base_features,
         }
-        return ScenarioProtocol(
-            scenario=self.name,
-            severity=severity,
-            train=train,
-            test_environments=tests,
-            metadata={
-                "num_extra_features": num_extra,
-                "density": self.density,
-                "num_base_features": int(protocol["train"].num_features),
-            },
-        )
+        return train, tests, metadata
 
 
 @SCENARIO_REGISTRY.register(
@@ -326,12 +323,11 @@ class NonlinearOutcomeScenario(Scenario):
 
     name = "nonlinear"
     axis = "outcome surface interpolates linear -> sine/interactions"
+    stage = STAGE_STRUCTURAL
     observation_noise: float = 0.1
     sine_frequency: float = 3.0
 
-    def build(self, num_samples: int, severity: float, seed: int) -> ScenarioProtocol:
-        severity = self.check_severity(severity)
-        protocol = self.base_protocol(num_samples, seed)
+    def apply(self, train: CausalDataset, tests: Tests, severity: float, seed: int) -> Applied:
         generator = self.make_generator(seed)
         rng = np.random.default_rng(seed + 77_005)
 
@@ -353,21 +349,13 @@ class NonlinearOutcomeScenario(Scenario):
                 dataset, outcome=outcome, mu0=mu0, mu1=mu1, binary_outcome=False
             )
 
-        train = bend(protocol["train"])
-        tests = {
-            f"rho={rho:g}": bend(dataset)
-            for rho, dataset in protocol["test_environments"].items()
+        train = bend(train)
+        tests = {name: bend(dataset) for name, dataset in tests.items()}
+        metadata = {
+            "sine_frequency": self.sine_frequency,
+            "mixing_weight": severity,
         }
-        return ScenarioProtocol(
-            scenario=self.name,
-            severity=severity,
-            train=train,
-            test_environments=tests,
-            metadata={
-                "sine_frequency": self.sine_frequency,
-                "mixing_weight": severity,
-            },
-        )
+        return train, tests, metadata
 
 
 @SCENARIO_REGISTRY.register(
@@ -389,15 +377,13 @@ class LabelFlipScenario(Scenario):
 
     name = "flip-noise"
     axis = "training labels flipped at severity-scaled rates"
+    stage = STAGE_STRUCTURAL
     max_flip_rate: float = 0.25
 
     def flip_rate(self, severity: float) -> float:
         return severity * self.max_flip_rate
 
-    def build(self, num_samples: int, severity: float, seed: int) -> ScenarioProtocol:
-        severity = self.check_severity(severity)
-        protocol = self.base_protocol(num_samples, seed)
-        train: CausalDataset = protocol["train"]
+    def apply(self, train: CausalDataset, tests: Tests, severity: float, seed: int) -> Applied:
         rate = self.flip_rate(severity)
         rng = np.random.default_rng(seed + 77_006)
 
@@ -410,19 +396,326 @@ class LabelFlipScenario(Scenario):
             treatment = train.treatment.copy()
             treatment_flips = np.zeros(len(train), dtype=bool)
         noisy_train = rebuild_dataset(train, treatment=treatment, outcome=outcome)
-
-        tests = {
-            f"rho={rho:g}": dataset
-            for rho, dataset in protocol["test_environments"].items()
+        metadata = {
+            "flip_rate": rate,
+            "treatment_flips": treatment_flips,
+            "outcome_flips": outcome_flips,
         }
-        return ScenarioProtocol(
-            scenario=self.name,
-            severity=severity,
-            train=noisy_train,
-            test_environments=tests,
-            metadata={
-                "flip_rate": rate,
-                "treatment_flips": treatment_flips,
-                "outcome_flips": outcome_flips,
-            },
+        return noisy_train, tests, metadata
+
+
+@SCENARIO_REGISTRY.register(
+    "instrument-decay",
+    aliases=("weak-instruments", "iv-decay"),
+    display_name="Instrument-strength decay",
+    metadata={"axis": "instrument contribution to treatment decays to zero"},
+)
+class InstrumentDecayScenario(Scenario):
+    """The instrument block's influence on treatment assignment decays.
+
+    Treatment is re-drawn in every population from logits whose instrument
+    contribution is scaled by ``1 - severity``: at severity 0 the paper's
+    assignment mechanism (instruments + confounders) is intact, at severity
+    1 treatment is driven by the confounders alone — the weak-instrument
+    regime in which any method that leans on instrument variation for
+    identification silently loses it.  Observed outcomes are recomputed
+    under the re-drawn treatment.
+    """
+
+    name = "instrument-decay"
+    axis = "instrument contribution to treatment decays to zero"
+    stage = STAGE_STRUCTURAL
+
+    def apply(self, train: CausalDataset, tests: Tests, severity: float, seed: int) -> Applied:
+        generator = self.make_generator(seed)
+        rng = np.random.default_rng(seed + 77_007)
+        config = generator.config
+        instrument_theta = generator.theta_treatment[: config.num_instruments]
+        correlations: Dict[str, float] = {}
+
+        def redraw(dataset: CausalDataset, key: str) -> CausalDataset:
+            instruments = dataset.covariates[:, dataset.feature_roles["instrument"]]
+            instrument_score = instruments @ instrument_theta / 10.0
+            logits = (
+                generator.systematic_treatment_logits(dataset.covariates)
+                - severity * instrument_score
+                + rng.normal(0.0, config.treatment_noise_scale, size=len(dataset))
+            )
+            propensity = 1.0 / (1.0 + np.exp(-np.clip(logits, -60.0, 60.0)))
+            treatment = (rng.uniform(size=len(dataset)) < propensity).astype(np.float64)
+            if treatment.sum() == 0.0:
+                treatment[np.argmax(propensity)] = 1.0
+            if treatment.sum() == len(treatment):
+                treatment[np.argmin(propensity)] = 0.0
+            outcome = treatment * dataset.mu1 + (1.0 - treatment) * dataset.mu0
+            correlations[key] = float(np.corrcoef(instrument_score, treatment)[0, 1])
+            return rebuild_dataset(dataset, treatment=treatment, outcome=outcome)
+
+        train = redraw(train, "train")
+        tests = {name: redraw(dataset, name) for name, dataset in tests.items()}
+        metadata = {
+            "instrument_weight": 1.0 - severity,
+            "instrument_score_correlation": correlations,
+        }
+        return train, tests, metadata
+
+
+@SCENARIO_REGISTRY.register(
+    "measurement-error",
+    aliases=("errors-in-variables", "noisy-covariates"),
+    display_name="Covariate measurement error",
+    metadata={"axis": "observed X = true X + severity-scaled Gaussian noise"},
+)
+class MeasurementErrorScenario(Scenario):
+    """Classical errors-in-variables: the estimator sees noisy covariates.
+
+    Treatment, outcomes and the ground-truth surfaces were all generated
+    from the *true* covariates; only the observed matrix is corrupted, with
+    independent Gaussian noise whose per-column standard deviation is
+    ``severity * max_noise`` times that column's own standard deviation
+    (severity 1 means a 1:1 signal-to-noise ratio on every column).  Both
+    the training population and every test environment are corrupted — the
+    measurement process does not improve at evaluation time.
+    """
+
+    name = "measurement-error"
+    axis = "observed X = true X + severity-scaled Gaussian noise"
+    stage = STAGE_COVARIATE_VIEW
+    max_noise: float = 1.0
+
+    def noise_multiplier(self, severity: float) -> float:
+        return severity * self.max_noise
+
+    def apply(self, train: CausalDataset, tests: Tests, severity: float, seed: int) -> Applied:
+        rng = np.random.default_rng(seed + 77_008)
+        multiplier = self.noise_multiplier(severity)
+        noise_record: Dict[str, np.ndarray] = {}
+
+        def corrupt(dataset: CausalDataset, key: str) -> CausalDataset:
+            scale = multiplier * dataset.covariates.std(axis=0)
+            noise = rng.normal(0.0, 1.0, size=dataset.covariates.shape) * scale
+            noise_record[key] = noise
+            if multiplier == 0.0:
+                return dataset
+            return rebuild_dataset(dataset, covariates=dataset.covariates + noise)
+
+        clean_train = train.covariates
+        train = corrupt(train, "train")
+        tests = {name: corrupt(dataset, name) for name, dataset in tests.items()}
+        metadata = {
+            "noise_multiplier": multiplier,
+            "clean_train_covariates": clean_train,
+            "noise": noise_record,
+        }
+        return train, tests, metadata
+
+
+@SCENARIO_REGISTRY.register(
+    "temporal-drift",
+    aliases=("drift", "covariate-drift"),
+    display_name="Temporal distribution drift",
+    metadata={"axis": "test environments drift toward the flipped population"},
+)
+class TemporalDriftScenario(Scenario):
+    """Severity as a *schedule* over a time-indexed environment sequence.
+
+    The two base test environments (aligned ``rho = 2.5`` and flipped
+    ``rho = -2.5``) are recombined into ``num_steps`` serving snapshots
+    ``t = 0 .. num_steps - 1``: at step ``t`` each unit is drawn from the
+    flipped population with probability ``severity * t / (num_steps - 1)``
+    and from the aligned population otherwise.  Severity therefore scales
+    the amplitude of the drift schedule — at severity 0 every snapshot is
+    the aligned population (no drift), at severity 1 the final snapshot is
+    fully flipped.  A robust method holds its error flat across ``t``.
+    """
+
+    name = "temporal-drift"
+    axis = "test environments drift toward the flipped population"
+    stage = STAGE_STRUCTURAL
+    num_steps: int = 4
+
+    def drift_schedule(self, severity: float) -> Tuple[float, ...]:
+        if self.num_steps < 2:
+            raise ValueError("temporal drift needs at least two time steps")
+        return tuple(
+            severity * step / (self.num_steps - 1) for step in range(self.num_steps)
         )
+
+    def apply(self, train: CausalDataset, tests: Tests, severity: float, seed: int) -> Applied:
+        aligned_key = f"rho={BASE_TRAIN_RHO:g}"
+        flipped_key = f"rho={-BASE_TRAIN_RHO:g}"
+        if aligned_key not in tests or flipped_key not in tests:
+            raise ValueError(
+                f"temporal drift needs the {aligned_key!r} and {flipped_key!r} "
+                f"base environments, got {sorted(tests)}"
+            )
+        aligned = tests[aligned_key]
+        flipped = tests[flipped_key]
+        rng = np.random.default_rng(seed + 77_009)
+        schedule = self.drift_schedule(severity)
+        source_masks: Dict[str, np.ndarray] = {}
+
+        def snapshot(step: int, weight: float) -> CausalDataset:
+            from_flipped = rng.uniform(size=len(aligned)) < weight
+            source_masks[f"t={step}"] = from_flipped
+
+            def mix(field_aligned: np.ndarray, field_flipped: np.ndarray) -> np.ndarray:
+                if field_aligned.ndim == 1:
+                    return np.where(from_flipped, field_flipped, field_aligned)
+                return np.where(from_flipped[:, None], field_flipped, field_aligned)
+
+            return CausalDataset(
+                covariates=mix(aligned.covariates, flipped.covariates),
+                treatment=mix(aligned.treatment, flipped.treatment),
+                outcome=mix(aligned.outcome, flipped.outcome),
+                mu0=mix(aligned.mu0, flipped.mu0),
+                mu1=mix(aligned.mu1, flipped.mu1),
+                environment=f"t={step}",
+                feature_roles=dict(aligned.feature_roles),
+                binary_outcome=aligned.binary_outcome,
+            )
+
+        drifted = {
+            f"t={step}": snapshot(step, weight) for step, weight in enumerate(schedule)
+        }
+        metadata = {
+            "schedule": list(schedule),
+            "source_masks": source_masks,
+            "flipped_fraction": {
+                name: float(mask.mean()) for name, mask in source_masks.items()
+            },
+        }
+        return train, drifted, metadata
+
+
+@SCENARIO_REGISTRY.register(
+    "outcome-selection",
+    aliases=("selection-on-outcome", "outcome-attrition"),
+    display_name="Selection on the outcome",
+    metadata={"axis": "low-outcome training units dropped and resampled"},
+)
+class OutcomeSelectionScenario(Scenario):
+    """Training units are retained based on their *observed outcome*.
+
+    Each training unit whose outcome falls below the population mean is
+    dropped with probability ``severity * max_drop``; dropped slots are
+    refilled by resampling (with replacement) from the retained units, so
+    the training size is unchanged but the outcome distribution is
+    selection-biased — the registry-style pathology where failures quietly
+    leave the data.  Test environments are untouched: the evaluation
+    measures how outcome-selected supervision distorts the estimator.
+    """
+
+    name = "outcome-selection"
+    axis = "low-outcome training units dropped and resampled"
+    stage = STAGE_STRUCTURAL
+    max_drop: float = 0.9
+
+    def drop_rate(self, severity: float) -> float:
+        return severity * self.max_drop
+
+    def apply(self, train: CausalDataset, tests: Tests, severity: float, seed: int) -> Applied:
+        rng = np.random.default_rng(seed + 77_010)
+        rate = self.drop_rate(severity)
+        at_risk = train.outcome < train.outcome.mean()
+        dropped = at_risk & (rng.uniform(size=len(train)) < rate)
+        kept = np.flatnonzero(~dropped)
+        if len(kept) == 0:  # degenerate tiny population: keep everything
+            dropped = np.zeros(len(train), dtype=bool)
+            kept = np.arange(len(train))
+        refill = rng.choice(kept, size=int(dropped.sum()), replace=True)
+        indices = np.concatenate([kept, refill]).astype(int)
+
+        selected = rebuild_dataset(
+            train,
+            covariates=train.covariates[indices],
+            treatment=train.treatment[indices],
+            outcome=train.outcome[indices],
+            mu0=train.mu0[indices],
+            mu1=train.mu1[indices],
+        )
+        # Guard against selection emptying a treatment arm.
+        if not 0 < selected.treatment.sum() < len(selected):
+            selected = train
+            dropped = np.zeros(len(train), dtype=bool)
+            refill = np.array([], dtype=int)
+        metadata = {
+            "drop_rate": rate,
+            "dropped": dropped,
+            "refill_indices": refill,
+            "outcome_mean_before": float(train.outcome.mean()),
+            "outcome_mean_after": float(selected.outcome.mean()),
+        }
+        return selected, tests, metadata
+
+
+@SCENARIO_REGISTRY.register(
+    "compound",
+    aliases=("overlap-x-hidden",),
+    display_name="Compound (overlap x hidden confounding)",
+    metadata={"axis": "two registered axes applied in sequence"},
+)
+class CompoundScenario(Scenario):
+    """Two registered axes applied in sequence at the same severity.
+
+    The default pairing is the ROADMAP's overlap x hidden-confounding
+    interaction: propensities are sharpened on the full covariate geometry,
+    then part of the confounder block is withheld — each individually mild
+    at moderate severity, jointly much harder.  Arbitrary pairs can be
+    composed (``CompoundScenario(components=("flip-noise", "sparse-highdim"))``)
+    as long as structural components (stage 0) precede covariate-view
+    components (stage 1): structural equations are only valid on the
+    unmodified covariate layout.  Components share the build seed — their
+    internal RNG streams are distinct per scenario — so a compound build is
+    exactly "component A's perturbation, then component B's, of the same
+    base draw".
+    """
+
+    name = "compound"
+    axis = "two registered axes applied in sequence"
+    default_components: Tuple[str, ...] = ("overlap", "hidden-confounding")
+
+    def __init__(
+        self,
+        dims: Sequence[int] = BASE_DIMS,
+        components: Optional[Sequence[str]] = None,
+    ) -> None:
+        super().__init__(dims)
+        names = tuple(components) if components is not None else self.default_components
+        if len(names) < 2:
+            raise ValueError("a compound scenario needs at least two components")
+        self.parts = [build_scenario(name, dims=self.dims) for name in names]
+        self.components = tuple(part.name for part in self.parts)
+        if len(set(self.components)) != len(self.components):
+            raise ValueError(
+                f"compound components must be distinct, got {self.components}"
+            )
+        if any(isinstance(part, CompoundScenario) for part in self.parts):
+            raise ValueError("compound scenarios cannot nest")
+        stages = [part.stage for part in self.parts]
+        if stages != sorted(stages):
+            raise ValueError(
+                "compound components must apply structural perturbations (stage "
+                f"{STAGE_STRUCTURAL}) before covariate-view perturbations (stage "
+                f"{STAGE_COVARIATE_VIEW}); got stages {stages} for {self.components}"
+            )
+
+    @property
+    def stage(self) -> int:  # type: ignore[override]
+        return max(part.stage for part in self.parts)
+
+    def apply(self, train: CausalDataset, tests: Tests, severity: float, seed: int) -> Applied:
+        component_metadata: Dict[str, object] = {}
+        for part in self.parts:
+            train, tests, part_metadata = part.apply(train, tests, severity, seed)
+            component_metadata[part.name] = part_metadata
+        metadata = {
+            "components": list(self.components),
+            "component_metadata": component_metadata,
+        }
+        return train, tests, metadata
+
+    def describe(self) -> Dict[str, object]:
+        description = super().describe()
+        description["components"] = list(self.components)
+        return description

@@ -67,6 +67,16 @@ class TestCommands:
         assert not args.smoke
         assert args.scenario_names is None and args.severities is None
         assert args.replications == 1 and args.n_jobs == 1
+        # None defers to the auto policy: cross-cell whenever n_jobs > 1.
+        assert args.scheduler is None
+        assert args.checkpoint is None and args.resume is None
+
+    def test_scenarios_scheduler_flags_parse(self):
+        args = build_parser().parse_args(
+            ["scenarios", "--scheduler", "cross-cell", "--checkpoint", "grid.jsonl"]
+        )
+        assert args.scheduler == "cross-cell"
+        assert args.checkpoint == "grid.jsonl"
 
     def test_scenarios_smoke_writes_json(self, capsys, tmp_path):
         import json
@@ -88,6 +98,68 @@ class TestCommands:
 
         with pytest.raises(UnknownComponentError):
             main(["scenarios", "--smoke", "--scenario", "no-such-axis", "--num-samples", "80"])
+
+    def test_scenarios_cross_cell_with_checkpoint(self, capsys, tmp_path):
+        import json
+
+        output = str(tmp_path / "scenarios.json")
+        checkpoint = str(tmp_path / "grid.jsonl")
+        assert main([
+            "scenarios", "--smoke", "--scenario", "overlap",
+            "--num-samples", "120", "--scheduler", "cross-cell",
+            "--checkpoint", checkpoint, "--output", output,
+        ]) == 0
+        record = json.loads(open(output).read())
+        assert record["suite"]["scheduler"] == "cross-cell"
+        assert record["suite"]["checkpoint"] == checkpoint
+        # The checkpoint recorded the grid: header + one line per unit.
+        lines = open(checkpoint).read().splitlines()
+        assert len(lines) == 1 + 2 * 2  # 2 severities x 2 default methods
+        # --resume picks the finished checkpoint straight back up.
+        assert main([
+            "scenarios", "--smoke", "--scenario", "overlap",
+            "--num-samples", "120", "--resume", checkpoint, "--output", output,
+        ]) == 0
+        resumed = json.loads(open(output).read())
+        assert resumed["scenarios"] == record["scenarios"]
+
+    def test_scenarios_resume_requires_existing_checkpoint(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main([
+                "scenarios", "--smoke", "--scenario", "overlap",
+                "--resume", str(tmp_path / "missing.jsonl"),
+            ])
+
+    def test_scenarios_per_cell_with_checkpoint_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="cross-cell"):
+            main([
+                "scenarios", "--smoke", "--scenario", "overlap",
+                "--scheduler", "per-cell",
+                "--checkpoint", str(tmp_path / "grid.jsonl"),
+            ])
+
+    def test_scenarios_fully_failed_grid_exits_nonzero(self, capsys):
+        from repro.registry import scenarios as scenario_registry
+        from repro.scenarios import Scenario
+
+        class AlwaysFailing(Scenario):
+            name = "cli-always-failing"
+            axis = "raises at every severity"
+
+            def apply(self, train, tests, severity, seed):
+                raise RuntimeError("nothing works")
+
+        scenario_registry.register("cli-always-failing", AlwaysFailing)
+        try:
+            code = main([
+                "scenarios", "--smoke", "--scenario", "cli-always-failing",
+                "--num-samples", "100", "--scheduler", "cross-cell",
+            ])
+        finally:
+            scenario_registry.unregister("cli-always-failing")
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "cells reported errors" in err and "every cell" in err
 
     def test_train_bench_smoke_writes_json(self, capsys, tmp_path):
         import json

@@ -212,3 +212,17 @@ class TestFromOptions:
         assert config.num_samples == 99
         assert tuple(config.severities) == (0.5,)
         assert config.n_jobs == 3 and config.seed == 1
+
+    def test_scheduler_and_checkpoint_pass_through(self):
+        config = ScenarioSuiteConfig.from_options(
+            smoke=True, scheduler="cross-cell", checkpoint="grid.jsonl"
+        )
+        assert config.scheduler == "cross-cell"
+        assert config.checkpoint == "grid.jsonl"
+        assert config.resolved_scheduler() == "cross-cell"
+
+    def test_scheduler_defaults_unset(self):
+        config = ScenarioSuiteConfig.from_options(smoke=True)
+        assert config.scheduler is None
+        assert config.checkpoint is None
+        assert config.resolved_scheduler() == "per-cell"  # n_jobs=1

@@ -28,6 +28,11 @@ EXPECTED_SCENARIOS = {
     "sparse-highdim",
     "nonlinear",
     "flip-noise",
+    "instrument-decay",
+    "measurement-error",
+    "temporal-drift",
+    "outcome-selection",
+    "compound",
 }
 
 N = 400
@@ -55,6 +60,11 @@ class TestRegistry:
         assert SCENARIO_REGISTRY.resolve("positivity") == "overlap"
         assert SCENARIO_REGISTRY.resolve("heavy-tails") == "outcome-noise"
         assert SCENARIO_REGISTRY.resolve("label-noise") == "flip-noise"
+        assert SCENARIO_REGISTRY.resolve("weak-instruments") == "instrument-decay"
+        assert SCENARIO_REGISTRY.resolve("errors-in-variables") == "measurement-error"
+        assert SCENARIO_REGISTRY.resolve("drift") == "temporal-drift"
+        assert SCENARIO_REGISTRY.resolve("selection-on-outcome") == "outcome-selection"
+        assert SCENARIO_REGISTRY.resolve("overlap-x-hidden") == "compound"
 
     def test_unknown_scenario_raises(self):
         with pytest.raises(UnknownComponentError):
@@ -73,13 +83,20 @@ class TestRegistry:
 
 class TestCommonContract:
     def test_protocol_shape(self, built):
+        rho_envs = {f"rho={rho:g}" for rho in BASE_TEST_RHOS}
         for name, cells in built.items():
             for severity, cell in cells.items():
                 assert isinstance(cell, ScenarioProtocol)
                 assert cell.scenario == name
                 assert cell.severity == severity
                 assert len(cell.train) == N
-                expected_envs = {f"rho={rho:g}" for rho in BASE_TEST_RHOS}
+                if name == "temporal-drift":
+                    # The drift axis replaces the rho suite with a
+                    # time-indexed sequence of serving snapshots.
+                    steps = build_scenario(name).num_steps
+                    expected_envs = {f"t={step}" for step in range(steps)}
+                else:
+                    expected_envs = rho_envs
                 assert set(cell.test_environments) == expected_envs
                 protocol = cell.as_protocol()
                 assert protocol["train"] is cell.train
@@ -288,3 +305,207 @@ class TestLabelFlip:
         base = built["flip-noise"][0.0]
         np.testing.assert_array_equal(severe.train.mu0, base.train.mu0)
         np.testing.assert_array_equal(severe.train.mu1, base.train.mu1)
+
+
+class TestInstrumentDecay:
+    def test_instrument_influence_decays(self, built):
+        benign = built["instrument-decay"][0.0].metadata["instrument_score_correlation"]
+        severe = built["instrument-decay"][1.0].metadata["instrument_score_correlation"]
+        # With instruments intact, treatment tracks the instrument score; at
+        # full decay the association collapses to sampling noise.
+        assert benign["train"] > 0.25
+        assert abs(severe["train"]) < 0.15
+        for environment in severe:
+            assert abs(severe[environment]) < abs(benign[environment])
+
+    def test_outcome_consistent_with_redrawn_treatment(self, built):
+        for severity in (0.0, 1.0):
+            train = built["instrument-decay"][severity].train
+            expected = train.treatment * train.mu1 + (1.0 - train.treatment) * train.mu0
+            np.testing.assert_array_equal(train.outcome, expected)
+
+    def test_covariates_and_ground_truth_untouched(self, built):
+        benign = built["instrument-decay"][0.0]
+        severe = built["instrument-decay"][1.0]
+        np.testing.assert_array_equal(severe.train.covariates, benign.train.covariates)
+        np.testing.assert_array_equal(severe.train.mu0, benign.train.mu0)
+        np.testing.assert_array_equal(severe.train.mu1, benign.train.mu1)
+
+    def test_metadata_records_decay_weight(self, built):
+        assert built["instrument-decay"][0.0].metadata["instrument_weight"] == 1.0
+        assert built["instrument-decay"][1.0].metadata["instrument_weight"] == 0.0
+
+
+class TestMeasurementError:
+    def test_severity_zero_is_clean(self, built):
+        cell = built["measurement-error"][0.0]
+        assert cell.metadata["noise_multiplier"] == 0.0
+        np.testing.assert_array_equal(
+            cell.train.covariates, cell.metadata["clean_train_covariates"]
+        )
+
+    def test_observed_equals_clean_plus_recorded_noise(self, built):
+        cell = built["measurement-error"][1.0]
+        clean = cell.metadata["clean_train_covariates"]
+        noise = cell.metadata["noise"]["train"]
+        np.testing.assert_allclose(cell.train.covariates, clean + noise)
+        # At full severity the noise matches each column's own scale, so the
+        # observed standard deviation grows by roughly sqrt(2).
+        ratio = cell.train.covariates.std(axis=0) / clean.std(axis=0)
+        assert np.all(ratio > 1.15) and np.all(ratio < 1.75)
+
+    def test_structural_arrays_untouched(self, built):
+        benign = built["measurement-error"][0.0]
+        severe = built["measurement-error"][1.0]
+        np.testing.assert_array_equal(severe.train.treatment, benign.train.treatment)
+        np.testing.assert_array_equal(severe.train.outcome, benign.train.outcome)
+        np.testing.assert_array_equal(severe.train.mu0, benign.train.mu0)
+        np.testing.assert_array_equal(severe.train.mu1, benign.train.mu1)
+
+    def test_test_environments_corrupted_too(self, built):
+        benign = built["measurement-error"][0.0]
+        severe = built["measurement-error"][1.0]
+        for name, dataset in severe.test_environments.items():
+            clean = benign.test_environments[name]
+            assert not np.array_equal(dataset.covariates, clean.covariates)
+            np.testing.assert_array_equal(dataset.outcome, clean.outcome)
+
+
+class TestTemporalDrift:
+    def test_schedule_scales_with_severity(self, built):
+        scenario = build_scenario("temporal-drift")
+        steps = scenario.num_steps
+        severe = built["temporal-drift"][1.0]
+        expected = [step / (steps - 1) for step in range(steps)]
+        np.testing.assert_allclose(severe.metadata["schedule"], expected)
+        assert built["temporal-drift"][0.0].metadata["schedule"] == [0.0] * steps
+
+    def test_flipped_fraction_follows_schedule(self, built):
+        severe = built["temporal-drift"][1.0]
+        fractions = [
+            severe.metadata["flipped_fraction"][f"t={step}"]
+            for step in range(build_scenario("temporal-drift").num_steps)
+        ]
+        assert fractions[0] == 0.0
+        assert fractions[-1] == 1.0
+        assert all(a <= b + 0.1 for a, b in zip(fractions, fractions[1:]))
+
+    def test_severity_zero_means_no_drift(self, built):
+        benign = built["temporal-drift"][0.0]
+        environments = list(benign.test_environments.values())
+        for dataset in environments[1:]:
+            np.testing.assert_array_equal(dataset.covariates, environments[0].covariates)
+            np.testing.assert_array_equal(dataset.outcome, environments[0].outcome)
+        for fraction in benign.metadata["flipped_fraction"].values():
+            assert fraction == 0.0
+
+    def test_snapshots_mix_the_two_source_populations(self, built):
+        severe = built["temporal-drift"][1.0]
+        # At severity 1 the first snapshot is the aligned population and the
+        # last is fully flipped; every intermediate row comes from one of
+        # the two, as recorded by the source mask.
+        aligned = severe.test_environments["t=0"]
+        flipped = severe.test_environments[
+            f"t={build_scenario('temporal-drift').num_steps - 1}"
+        ]
+        middle_name = "t=1"
+        mask = severe.metadata["source_masks"][middle_name]
+        middle = severe.test_environments[middle_name]
+        np.testing.assert_array_equal(
+            middle.covariates[mask], flipped.covariates[mask]
+        )
+        np.testing.assert_array_equal(
+            middle.covariates[~mask], aligned.covariates[~mask]
+        )
+
+    def test_train_population_untouched(self, built):
+        benign = built["temporal-drift"][0.0]
+        severe = built["temporal-drift"][1.0]
+        np.testing.assert_array_equal(severe.train.covariates, benign.train.covariates)
+        np.testing.assert_array_equal(severe.train.outcome, benign.train.outcome)
+
+
+class TestOutcomeSelection:
+    def test_selection_raises_outcome_mean(self, built):
+        severe = built["outcome-selection"][1.0]
+        assert (
+            severe.metadata["outcome_mean_after"]
+            > severe.metadata["outcome_mean_before"] + 0.1
+        )
+        assert severe.train.outcome.mean() == pytest.approx(
+            severe.metadata["outcome_mean_after"]
+        )
+
+    def test_severity_zero_is_identity(self, built):
+        benign = built["outcome-selection"][0.0]
+        assert not benign.metadata["dropped"].any()
+        assert len(benign.metadata["refill_indices"]) == 0
+        assert benign.metadata["outcome_mean_after"] == pytest.approx(
+            benign.metadata["outcome_mean_before"]
+        )
+
+    def test_dropped_units_are_low_outcome(self, built):
+        severe = built["outcome-selection"][1.0]
+        benign = built["outcome-selection"][0.0]
+        dropped = severe.metadata["dropped"]
+        assert dropped.any()
+        threshold = benign.train.outcome.mean()
+        assert np.all(benign.train.outcome[dropped] < threshold)
+
+    def test_test_environments_untouched(self, built):
+        severe = built["outcome-selection"][1.0]
+        benign = built["outcome-selection"][0.0]
+        for name, dataset in severe.test_environments.items():
+            clean = benign.test_environments[name]
+            np.testing.assert_array_equal(dataset.covariates, clean.covariates)
+            np.testing.assert_array_equal(dataset.outcome, clean.outcome)
+
+
+class TestCompound:
+    def test_both_perturbations_present(self, built):
+        severe = built["compound"][1.0]
+        assert severe.metadata["components"] == ["overlap", "hidden-confounding"]
+        component = severe.metadata["component_metadata"]
+        # Overlap violated on the full covariate geometry...
+        assert np.mean(list(component["overlap"]["violation_fraction"].values())) > 0.5
+        # ...and the confounder block withheld from the observed covariates.
+        assert len(severe.train.feature_roles["confounder"]) == 0
+        assert (
+            severe.train.num_features
+            == component["hidden-confounding"]["num_original_features"]
+            - len(component["hidden-confounding"]["withheld_columns"])
+        )
+
+    def test_outcome_consistent_after_composition(self, built):
+        train = built["compound"][1.0].train
+        expected = train.treatment * train.mu1 + (1.0 - train.treatment) * train.mu0
+        np.testing.assert_array_equal(train.outcome, expected)
+
+    def test_describe_lists_components(self):
+        description = build_scenario("compound").describe()
+        assert description["components"] == ["overlap", "hidden-confounding"]
+
+    def test_stage_order_enforced(self):
+        from repro.scenarios import CompoundScenario
+
+        with pytest.raises(ValueError, match="structural"):
+            CompoundScenario(components=("hidden-confounding", "overlap"))
+
+    def test_custom_pairings_compose(self):
+        from repro.scenarios import CompoundScenario
+
+        scenario = CompoundScenario(components=("flip-noise", "sparse-highdim"))
+        cell = scenario.build(150, 1.0, seed=SEED)
+        component = cell.metadata["component_metadata"]
+        assert component["flip-noise"]["treatment_flips"].any()
+        assert "nuisance" in cell.train.feature_roles
+
+    def test_invalid_compositions_raise(self):
+        from repro.scenarios import CompoundScenario
+
+        with pytest.raises(ValueError, match="distinct"):
+            CompoundScenario(components=("overlap", "overlap"))
+        with pytest.raises(ValueError, match="at least two"):
+            CompoundScenario(components=("overlap",))
+        with pytest.raises(ValueError, match="nest"):
+            CompoundScenario(components=("overlap", "compound"))

@@ -1,0 +1,393 @@
+"""Tests for the cross-cell scenario scheduler.
+
+The scheduler's contract: at a fixed suite seed the flattened cross-cell
+grid is bit-for-bit identical to the serial per-cell sweep (apart from
+measured wall-clock), one diverging unit reports an error row instead of
+killing the grid, and an interrupted run resumes from its JSONL checkpoint
+to the exact record an uninterrupted run produces.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import BackboneConfig, RegularizerConfig, SBRLConfig, TrainingConfig
+from repro.experiments import MethodSpec
+from repro.experiments.scenario_suite import (
+    ScenarioSuiteConfig,
+    compare_scenario_records,
+    run_scenario_suite,
+    scenario_cell_metrics,
+)
+from repro.experiments.scheduler import (
+    CheckpointError,
+    plan_units,
+    run_cross_cell,
+    unit_key,
+)
+from repro.registry import scenarios as SCENARIO_REGISTRY
+from repro.scenarios import Scenario
+
+
+@pytest.fixture(scope="module")
+def scheduler_config():
+    """A training configuration that fits in well under a second."""
+    return SBRLConfig(
+        backbone=BackboneConfig(rep_layers=2, rep_units=12, head_layers=2, head_units=8),
+        regularizers=RegularizerConfig(
+            alpha=1e-2, gamma1=1.0, gamma2=1e-2, gamma3=1e-2, max_pairs_per_layer=6
+        ),
+        training=TrainingConfig(
+            iterations=10,
+            learning_rate=1e-2,
+            weight_update_every=5,
+            weight_steps_per_iteration=1,
+            evaluation_interval=10,
+            early_stopping_patience=None,
+            seed=0,
+        ),
+    )
+
+
+def suite_config(scheduler_config, **overrides) -> ScenarioSuiteConfig:
+    spec = MethodSpec(backbone="cfr", framework="vanilla", config=scheduler_config, seed=0)
+    options = dict(
+        scenario_names=["overlap", "flip-noise"],
+        severities=(0.0, 1.0),
+        num_samples=120,
+        replications=2,
+        n_jobs=1,
+        seed=11,
+        methods=[spec],
+    )
+    options.update(overrides)
+    return ScenarioSuiteConfig(**options)
+
+
+class TestResolvedScheduler:
+    def test_auto_is_per_cell_when_serial(self):
+        assert ScenarioSuiteConfig(n_jobs=1).resolved_scheduler() == "per-cell"
+
+    def test_auto_is_cross_cell_when_parallel(self):
+        assert ScenarioSuiteConfig(n_jobs=2).resolved_scheduler() == "cross-cell"
+
+    def test_checkpoint_implies_cross_cell(self):
+        config = ScenarioSuiteConfig(n_jobs=1, checkpoint="grid.jsonl")
+        assert config.resolved_scheduler() == "cross-cell"
+
+    def test_explicit_scheduler_wins(self):
+        assert (
+            ScenarioSuiteConfig(n_jobs=4, scheduler="per-cell").resolved_scheduler()
+            == "per-cell"
+        )
+        assert (
+            ScenarioSuiteConfig(n_jobs=1, scheduler="cross-cell").resolved_scheduler()
+            == "cross-cell"
+        )
+
+    def test_unknown_scheduler_raises(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            ScenarioSuiteConfig(scheduler="magic").resolved_scheduler()
+
+    def test_per_cell_with_checkpoint_raises(self):
+        config = ScenarioSuiteConfig(scheduler="per-cell", checkpoint="grid.jsonl")
+        with pytest.raises(ValueError, match="cross-cell"):
+            config.resolved_scheduler()
+
+
+class TestPlanUnits:
+    def test_grid_is_fully_flattened(self, scheduler_config):
+        config = suite_config(scheduler_config)
+        specs = config.resolved_methods(config.seed)
+        units = plan_units(
+            {"overlap": (0.0, 1.0), "flip-noise": (0.0, 1.0)},
+            specs,
+            replications=2,
+            seed=config.seed,
+            num_samples=config.num_samples,
+            dims=config.dims,
+        )
+        assert len(units) == 2 * 2 * 2 * len(specs)
+        assert len({unit.key for unit in units}) == len(units)
+        # Every replication index shares its seed across cells, exactly as
+        # the serial path's repeated run_replications calls see them.
+        seeds = {
+            (unit.replication, unit.replication_seed) for unit in units
+        }
+        assert len(seeds) == 2
+
+    def test_empty_inputs_raise(self, scheduler_config):
+        config = suite_config(scheduler_config)
+        specs = config.resolved_methods(config.seed)
+        with pytest.raises(ValueError, match="scenario"):
+            plan_units({}, specs, 1, 0, 100, config.dims)
+        with pytest.raises(ValueError, match="severity"):
+            plan_units({"overlap": ()}, specs, 1, 0, 100, config.dims)
+        with pytest.raises(ValueError, match="method"):
+            plan_units({"overlap": (0.0,)}, [], 1, 0, 100, config.dims)
+
+
+class TestParallelEqualsSerial:
+    """The acceptance gate: cross-cell == serial, bit for bit, at one seed."""
+
+    @pytest.fixture(scope="class")
+    def records(self, scheduler_config):
+        serial = run_scenario_suite(
+            suite_config(scheduler_config, n_jobs=1, scheduler="per-cell")
+        )
+        parallel = run_scenario_suite(suite_config(scheduler_config, n_jobs=2))
+        return serial, parallel
+
+    def test_schedulers_resolved_as_expected(self, records):
+        serial, parallel = records
+        assert serial["suite"]["scheduler"] == "per-cell"
+        assert parallel["suite"]["scheduler"] == "cross-cell"
+
+    def test_cell_metrics_bit_identical(self, records):
+        serial, parallel = records
+        assert compare_scenario_records(serial, parallel) == []
+        # Spot-check that the comparison actually saw float metrics.
+        rows = scenario_cell_metrics(serial)
+        assert rows and all("pehe_mean" in row for row in rows.values())
+        for key, row in rows.items():
+            assert row == scenario_cell_metrics(parallel)[key]
+
+    def test_comparison_detects_differences(self, records):
+        serial, parallel = records
+        mutated = json.loads(json.dumps(parallel))
+        first = mutated["scenarios"]["overlap"]["cells"][0]
+        first["pehe_mean"] = first["pehe_mean"] + 1.0
+        differences = compare_scenario_records(serial, mutated)
+        assert any("pehe_mean" in difference for difference in differences)
+
+
+class TestCheckpointResume:
+    def test_interrupted_grid_resumes_to_identical_record(
+        self, scheduler_config, tmp_path
+    ):
+        checkpoint = str(tmp_path / "grid.jsonl")
+        config = suite_config(scheduler_config, checkpoint=checkpoint)
+        uninterrupted = run_scenario_suite(config)
+
+        # Simulate a kill mid-run: keep the header, the first two completed
+        # units, and a torn partial write of a third.
+        with open(checkpoint, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) > 4  # header + 8 units
+        with open(checkpoint, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines[:3]) + "\n")
+            handle.write(lines[3][: len(lines[3]) // 2])  # torn line
+
+        resumed = run_scenario_suite(config)
+        assert compare_scenario_records(uninterrupted, resumed) == []
+        # The resumed run completed the checkpoint back to the full grid:
+        # the torn fragment was newline-terminated (it stays as one dead
+        # line) and every recomputed unit got its own parseable line.
+        with open(checkpoint, encoding="utf-8") as handle:
+            final_lines = handle.read().splitlines()
+        assert len(final_lines) == len(lines) + 1
+        # A third run replays everything from disk — nothing was lost to
+        # the torn line, so the appended records must all parse.
+        specs = config.resolved_methods(config.seed)
+        units = plan_units(
+            {"overlap": (0.0, 1.0), "flip-noise": (0.0, 1.0)},
+            specs,
+            replications=config.replications,
+            seed=config.seed,
+            num_samples=config.num_samples,
+            dims=config.dims,
+        )
+        replayed = run_cross_cell(units, n_jobs=1, checkpoint=checkpoint)
+        assert all(outcome.from_checkpoint for outcome in replayed.values())
+
+    def test_completed_units_are_replayed_not_recomputed(
+        self, scheduler_config, tmp_path
+    ):
+        checkpoint = str(tmp_path / "grid.jsonl")
+        config = suite_config(scheduler_config, checkpoint=checkpoint)
+        specs = config.resolved_methods(config.seed)
+        units = plan_units(
+            {"overlap": (0.0, 1.0), "flip-noise": (0.0, 1.0)},
+            specs,
+            replications=config.replications,
+            seed=config.seed,
+            num_samples=config.num_samples,
+            dims=config.dims,
+        )
+        first = run_cross_cell(units, n_jobs=1, checkpoint=checkpoint)
+        assert all(not outcome.from_checkpoint for outcome in first.values())
+        second = run_cross_cell(units, n_jobs=1, checkpoint=checkpoint)
+        assert all(outcome.from_checkpoint for outcome in second.values())
+        for key, outcome in second.items():
+            reference = first[key].result
+            assert outcome.result.per_environment == reference.per_environment
+            assert outcome.result.stability.mean == reference.stability.mean
+
+    def test_mismatched_checkpoint_refuses_to_resume(self, scheduler_config, tmp_path):
+        checkpoint = str(tmp_path / "grid.jsonl")
+        run_scenario_suite(suite_config(scheduler_config, checkpoint=checkpoint))
+        with pytest.raises(CheckpointError, match="different grid"):
+            run_scenario_suite(
+                suite_config(scheduler_config, checkpoint=checkpoint, seed=12)
+            )
+
+    def test_changed_method_config_refuses_to_resume(self, scheduler_config, tmp_path):
+        # The fingerprint must see through a same-named method: a spec
+        # trained at a different scale (or seed, or ablation) is a
+        # different grid even though its display name is still "CFR".
+        from dataclasses import replace
+
+        checkpoint = str(tmp_path / "grid.jsonl")
+        run_scenario_suite(suite_config(scheduler_config, checkpoint=checkpoint))
+        retrained = replace(
+            scheduler_config,
+            training=replace(scheduler_config.training, iterations=20),
+        )
+        spec = MethodSpec(backbone="cfr", framework="vanilla", config=retrained, seed=0)
+        with pytest.raises(CheckpointError, match="different grid"):
+            run_scenario_suite(
+                suite_config(scheduler_config, checkpoint=checkpoint, methods=[spec])
+            )
+
+    def test_foreign_file_refused(self, scheduler_config, tmp_path):
+        checkpoint = str(tmp_path / "grid.jsonl")
+        with open(checkpoint, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"kind": "something-else"}) + "\n")
+        with pytest.raises(CheckpointError, match="not a scenario-scheduler"):
+            run_scenario_suite(suite_config(scheduler_config, checkpoint=checkpoint))
+
+
+class _ExplodingScenario(Scenario):
+    """Builds fine at severity 0 and raises beyond it."""
+
+    name = "exploding-test-scenario"
+    axis = "raises at positive severity"
+
+    def apply(self, train, tests, severity, seed):
+        if severity > 0.0:
+            raise RuntimeError("synthetic divergence")
+        return train, tests, {}
+
+
+class _WorkerKillingScenario(Scenario):
+    """Kills its worker process outright (simulating an OOM-kill)."""
+
+    name = "worker-killing-test-scenario"
+    axis = "dies without raising"
+
+    def apply(self, train, tests, severity, seed):
+        import os
+
+        os._exit(17)
+
+
+class TestFailureIsolation:
+    def test_diverging_cell_reports_error_row(self, scheduler_config):
+        SCENARIO_REGISTRY.register("exploding-test-scenario", _ExplodingScenario)
+        try:
+            config = suite_config(
+                scheduler_config,
+                scenario_names=["overlap", "exploding-test-scenario"],
+                replications=1,
+                scheduler="cross-cell",
+            )
+            record = run_scenario_suite(config)
+        finally:
+            SCENARIO_REGISTRY.unregister("exploding-test-scenario")
+
+        # The healthy scenario is untouched by its neighbour's divergence.
+        for cell in record["scenarios"]["overlap"]["cells"]:
+            assert cell["error"] is None
+            assert cell["pehe_mean"] >= 0.0
+
+        exploding = record["scenarios"]["exploding-test-scenario"]
+        by_severity = {cell["severity"]: cell for cell in exploding["cells"]}
+        assert by_severity[0.0]["error"] is None
+        assert "synthetic divergence" in by_severity[1.0]["error"]
+        assert by_severity[1.0]["pehe_mean"] is None
+
+        # Degradation summarises the finite cells only (a single severity
+        # survives, so the slope degenerates to 0 by definition), and the
+        # max-severity anchor is withheld rather than letting the surviving
+        # severity-0 value masquerade as "PEHE at max".
+        slopes = exploding["degradation"]["CFR"]
+        assert slopes["pehe_at_zero"] == by_severity[0.0]["pehe_mean"]
+        assert slopes["pehe_at_max"] is None
+        assert slopes["pehe_slope"] == 0.0
+
+    def test_fully_failed_method_gets_null_degradation(self, scheduler_config):
+        SCENARIO_REGISTRY.register("exploding-test-scenario", _ExplodingScenario)
+        try:
+            config = suite_config(
+                scheduler_config,
+                scenario_names=["exploding-test-scenario"],
+                severities=(0.5, 1.0),
+                replications=1,
+                scheduler="cross-cell",
+            )
+            record = run_scenario_suite(config)
+        finally:
+            SCENARIO_REGISTRY.unregister("exploding-test-scenario")
+        slopes = record["scenarios"]["exploding-test-scenario"]["degradation"]["CFR"]
+        assert slopes == {
+            "pehe_slope": None,
+            "ate_error_slope": None,
+            "pehe_at_zero": None,
+            "pehe_at_max": None,
+        }
+
+    def test_pool_collapse_raises_instead_of_error_rows(self, scheduler_config):
+        # A dying worker process (OOM-kill, segfault) is an infrastructure
+        # failure: the scheduler must surface it, not stamp the rest of
+        # the grid as diverging cells and let the run exit 0.
+        SCENARIO_REGISTRY.register("worker-killing-test-scenario", _WorkerKillingScenario)
+        try:
+            config = suite_config(scheduler_config, replications=1)
+            specs = config.resolved_methods(config.seed)
+            units = plan_units(
+                {"worker-killing-test-scenario": (0.0, 1.0)},
+                specs,
+                replications=1,
+                seed=config.seed,
+                num_samples=config.num_samples,
+                dims=config.dims,
+            )
+            with pytest.raises(RuntimeError, match="pool collapsed"):
+                run_cross_cell(units, n_jobs=2)
+        finally:
+            SCENARIO_REGISTRY.unregister("worker-killing-test-scenario")
+
+    def test_error_keys_match_unit_keys(self):
+        assert (
+            unit_key("overlap", 0.25, 3, 1)
+            == "overlap|severity=0.25|replication=3|method=1"
+        )
+
+
+class TestProtocolCache:
+    def test_units_differing_only_in_method_share_one_build(self, scheduler_config):
+        from repro.experiments import scheduler as scheduler_module
+
+        config = suite_config(scheduler_config)
+        specs = [
+            MethodSpec(backbone="cfr", framework="vanilla", config=scheduler_config, seed=0),
+            MethodSpec(backbone="tarnet", framework="vanilla", config=scheduler_config, seed=0),
+        ]
+        units = plan_units(
+            {"overlap": (1.0,)},
+            specs,
+            replications=1,
+            seed=config.seed,
+            num_samples=80,
+            dims=config.dims,
+        )
+        scheduler_module._PROTOCOL_CACHE.clear()
+        first = scheduler_module._build_unit_protocol(units[0])
+        second = scheduler_module._build_unit_protocol(units[1])
+        assert first is second  # same (scenario, severity, replication) build
+        different = plan_units(
+            {"overlap": (0.0,)}, specs, 1, config.seed, 80, config.dims
+        )
+        assert scheduler_module._build_unit_protocol(different[0]) is not first
