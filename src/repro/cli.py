@@ -10,6 +10,7 @@ Exposes the experiment harness without writing Python::
     repro save --benchmark syn_8_8_8_2 --output artifacts/model   # train + persist
     repro predict --model artifacts/model --benchmark syn_8_8_8_2 # serve from artifact
     repro serve-bench --rows 2000                                 # microbatching benchmark
+    repro serve-bench --sustained --smoke                         # concurrent-frontend benchmark
     repro scenarios --smoke                                       # stress-test matrix
 
 (Also runnable as ``python -m repro.cli`` when not installed.)  The CLI is
@@ -118,6 +119,30 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--requests", type=int, default=200, help="number of microbatched requests")
     bench.add_argument("--num-samples", type=int, default=600)
     bench.add_argument("--seed", type=int, default=2024)
+    bench.add_argument(
+        "--sustained",
+        action="store_true",
+        help="drive a concurrent ServingFrontend with a closed-loop load "
+        "generator instead (coalescing vs direct, saturation sweep, "
+        "hot swap under load)",
+    )
+    bench.add_argument("--smoke", action="store_true", help="seconds-scale --sustained run")
+    bench.add_argument("--concurrency", type=int, default=None, help="client threads (default: 16; 8 with --smoke)")
+    bench.add_argument(
+        "--requests-per-thread", type=int, default=None,
+        help="sustained-phase requests per client (default: 400; 60 with --smoke)",
+    )
+    bench.add_argument("--num-workers", type=int, default=None, help="frontend worker threads (default: 2)")
+    bench.add_argument("--max-wait-ms", type=float, default=2.0, help="batching deadline (ms)")
+    bench.add_argument(
+        "--arrival", choices=("closed", "burst"), default="closed",
+        help="load pattern for --sustained: closed loop or bursts of 4",
+    )
+    bench.add_argument("--output", default=None, help="write the --sustained JSON record to this path")
+    bench.add_argument(
+        "--check-against", default=None, metavar="BASELINE_JSON",
+        help="fail on a >2x regression against this committed --sustained record",
+    )
 
     train_bench = subparsers.add_parser(
         "train-bench",
@@ -312,7 +337,58 @@ def _command_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve_bench_sustained(args: argparse.Namespace) -> int:
+    from .experiments.serving_benchmark import (
+        benchmark_serving,
+        format_serving_benchmark,
+        write_benchmark,
+    )
+
+    result = benchmark_serving(
+        smoke=args.smoke,
+        concurrency=args.concurrency,
+        requests_per_thread=args.requests_per_thread,
+        num_workers=args.num_workers,
+        max_wait_ms=args.max_wait_ms,
+        arrival=args.arrival,
+        seed=args.seed,
+    )
+    print(format_serving_benchmark(result))
+    if args.output is not None:
+        print(f"wrote {write_benchmark(result, args.output)}")
+    failures = 0
+    swap = result["hot_swap"]
+    if swap["failed_requests"] or swap["frontend_failed_requests"]:
+        print("FAIL: requests failed during the hot-swap phase")
+        failures += 1
+    if not result["coalesced_matches_direct"]:
+        print("FAIL: coalesced answers diverge from direct predictions")
+        failures += 1
+    if args.check_against is not None:
+        from .experiments.perf_gate import check_perf_regression
+
+        failures += check_perf_regression(
+            result,
+            args.check_against,
+            (
+                (
+                    "direct seconds/1k requests",
+                    lambda record: record["sustained"]["direct"]["seconds_per_1k_requests"],
+                    "direct_seconds_per_1k_requests",
+                ),
+                (
+                    "coalesced seconds/1k requests",
+                    lambda record: record["sustained"]["coalesced"]["seconds_per_1k_requests"],
+                    "coalesced_seconds_per_1k_requests",
+                ),
+            ),
+        )
+    return 1 if failures else 0
+
+
 def _command_serve_bench(args: argparse.Namespace) -> int:
+    if args.sustained:
+        return _command_serve_bench_sustained(args)
     if args.model is not None:
         estimator = HTEEstimator.load(args.model)
     else:

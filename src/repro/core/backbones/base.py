@@ -22,7 +22,7 @@ import numpy as np
 
 from ...nn import functional as F
 from ...nn.modules import MLP, Module, RepresentationNetwork
-from ...nn.tensor import Tensor, as_tensor, get_default_dtype, no_grad
+from ...nn.tensor import Tensor, as_tensor, no_grad
 from ..config import BackboneConfig, RegularizerConfig
 
 __all__ = ["BackboneForward", "BaseBackbone", "TwoHeadPredictor"]
@@ -197,7 +197,10 @@ class BaseBackbone(Module):
         if compiled:
             inference = self._compiled_inference()
             if inference is not None:
-                matrix = np.asarray(covariates, dtype=get_default_dtype())
+                # The backbone's own parameter dtype, not the process-wide
+                # default: a float32-trained model must serve in float32
+                # (float64 input would silently upcast every matmul).
+                matrix = np.asarray(covariates, dtype=self.parameter_dtype())
                 mu0, mu1 = inference(matrix)
                 return {"mu0": mu0, "mu1": mu1, "ite": mu1 - mu0}
         treatment_placeholder = np.zeros(len(covariates))

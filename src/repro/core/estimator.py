@@ -230,6 +230,22 @@ class HTEEstimator:
             raise RuntimeError("the estimator must be fit before use")
         return self.trainer
 
+    @property
+    def num_features(self) -> int:
+        """Covariate width the fitted backbone expects (requires a fit)."""
+        return int(self._require_fitted().backbone.num_features)
+
+    @property
+    def fitted_dtype(self) -> np.dtype:
+        """Dtype of the fitted backbone parameters (float32 or float64).
+
+        Serving layers coerce request covariates to this dtype, so models
+        trained under the float32 policy are also *served* in float32
+        (compiled closures never silently upcast) and row-cache keys are
+        dtype-stable.
+        """
+        return self._require_fitted().backbone.parameter_dtype()
+
     # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #

@@ -16,7 +16,7 @@ import numpy as np
 
 from . import functional as F
 from . import init
-from .tensor import ArrayLike, Tensor, as_tensor
+from .tensor import ArrayLike, Tensor, as_tensor, get_default_dtype
 
 __all__ = ["Module", "Linear", "Sequential", "MLP", "RepresentationNetwork"]
 
@@ -100,6 +100,12 @@ class Module:
     def num_parameters(self) -> int:
         """Total number of scalar parameters."""
         return sum(p.size for p in self.parameters())
+
+    def parameter_dtype(self) -> np.dtype:
+        """Dtype of this module's parameters (the default dtype if it has none)."""
+        for param in self.parameters():
+            return np.dtype(param.data.dtype)
+        return np.dtype(get_default_dtype())
 
     def state_dict(self) -> Dict[str, np.ndarray]:
         """Copy all parameter values keyed by qualified name."""

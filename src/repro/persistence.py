@@ -22,6 +22,7 @@ before :func:`load_estimator` runs.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from typing import Any, Dict
@@ -42,6 +43,7 @@ __all__ = [
     "save_estimator",
     "load_estimator",
     "read_manifest",
+    "artifact_fingerprint",
 ]
 
 FORMAT_NAME = "repro-hte-estimator"
@@ -132,6 +134,29 @@ def read_manifest(path) -> Dict[str, Any]:
             f"this library reads versions 1..{FORMAT_VERSION}"
         )
     return manifest
+
+
+def artifact_fingerprint(path) -> str:
+    """Content digest of an artifact (manifest + arrays), as a short hex id.
+
+    Two artifacts have the same fingerprint iff their bytes are identical,
+    so the serving registry can show exactly which artifact each deployed
+    model version was built from (and spot a re-deploy of unchanged bytes).
+    The manifest is validated first, so fingerprinting a non-artifact fails
+    with the usual :class:`ArtifactError`.
+    """
+    path = os.fspath(path)
+    read_manifest(path)
+    digest = hashlib.blake2b(digest_size=16)
+    for filename in (MANIFEST_FILENAME, ARRAYS_FILENAME):
+        file_path = os.path.join(path, filename)
+        if not os.path.isfile(file_path):
+            raise ArtifactError(f"artifact at {path!r} is missing {filename}")
+        digest.update(filename.encode("utf-8"))
+        with open(file_path, "rb") as handle:
+            for block in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(block)
+    return digest.hexdigest()
 
 
 def load_estimator(path, estimator_cls=None):

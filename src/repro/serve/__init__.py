@@ -1,17 +1,40 @@
 """Serving subsystem: load saved estimators and answer prediction traffic.
 
+Three layers, bottom to top:
+
+* :class:`ModelRegistry` — versioned ``(name, version)`` model store with
+  atomic zero-downtime hot swap (:meth:`~ModelRegistry.deploy`) and
+  :meth:`~ModelRegistry.rollback`, built on :mod:`repro.persistence`.
+* :class:`PredictionService` — in-process serving: request microbatching,
+  per-row LRU result cache, latency/throughput counters.
+* :class:`ServingFrontend` — concurrent multi-worker server that coalesces
+  *cross-request* traffic into fused batches under a batching deadline.
+
 Quickstart::
 
-    from repro.serve import PredictionService
+    from repro.serve import ServingFrontend
 
-    service = PredictionService.from_artifacts({"uplift": "artifacts/cfr-sbrl-hap"})
-    result = service.predict(covariate_rows, model="uplift")
-    batched = service.predict_many(list_of_requests, model="uplift")
-    print(service.stats("uplift"))
+    frontend = ServingFrontend(num_workers=4, max_wait_ms=2.0)
+    frontend.deploy("uplift", "artifacts/uplift")       # version 1 goes live
+    future = frontend.submit(covariate_rows, model="uplift")
+    result = future.result()                            # {"mu0","mu1","ite"}
+    frontend.deploy("uplift", "artifacts/uplift-v2")    # hot swap under load
+    frontend.rollback("uplift")                         # back to version 1
+    frontend.stop()
 """
 
 from .cache import LRUCache
+from .registry import ModelRegistry, ModelVersion
+from .server import FrontendStats, ServingFrontend
 from .service import PredictionService
 from .stats import ModelStats
 
-__all__ = ["PredictionService", "LRUCache", "ModelStats"]
+__all__ = [
+    "PredictionService",
+    "ServingFrontend",
+    "FrontendStats",
+    "ModelRegistry",
+    "ModelVersion",
+    "LRUCache",
+    "ModelStats",
+]

@@ -1,8 +1,6 @@
 """Prediction serving on top of saved (or in-memory) estimators.
 
-:class:`PredictionService` holds one or more fitted
-:class:`~repro.core.estimator.HTEEstimator` instances and answers prediction
-requests without retraining:
+:class:`PredictionService` answers prediction requests without retraining:
 
 * **Microbatching** — :meth:`predict_many` fuses the rows of many small
   requests into large forward passes (bounded by ``max_batch_size``), which
@@ -14,42 +12,54 @@ requests without retraining:
 * **Counters** — per-model request/row/cache counters plus recent latency
   percentiles, exposed via :meth:`stats`.
 
-The service is thread-safe: a single lock serialises cache and counter
-mutation (the numeric forward pass itself releases no GIL anyway in this
-pure-NumPy implementation).
+Model lifecycle is delegated to a :class:`~repro.serve.registry.ModelRegistry`:
+every ``register_model`` / ``load_model`` / :meth:`deploy` becomes a tracked
+``(name, version)`` deployment, :meth:`deploy` hot-swaps the live version
+atomically (in-flight requests keep their leased version until they finish)
+and :meth:`rollback` re-activates the previous one.  For a *concurrent*
+server with cross-request batch coalescing on top of the same registry, see
+:class:`~repro.serve.server.ServingFrontend`.
 """
 
 from __future__ import annotations
 
-import hashlib
-import threading
 import time
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from ..core.estimator import HTEEstimator
-from .cache import LRUCache
-from .stats import ModelStats
+from .registry import ModelRegistry, ModelSource, ModelVersion
 
-__all__ = ["PredictionService"]
+__all__ = ["PredictionService", "as_request_matrix"]
 
 ArrayLike = Union[np.ndarray, Sequence[Sequence[float]], Sequence[float]]
 
 
-def _as_matrix(covariates: ArrayLike) -> np.ndarray:
-    """Coerce one request payload to a contiguous float64 ``(n, d)`` matrix."""
-    matrix = np.asarray(covariates, dtype=np.float64, order="C")
+def as_request_matrix(covariates: ArrayLike, version: ModelVersion) -> np.ndarray:
+    """Coerce one request payload to a contiguous ``(n, d)`` request matrix.
+
+    The matrix is cast to the model's *fitted* dtype — a float32-trained
+    model is served in float32 (the compiled closures would otherwise
+    silently upcast every matmul back to float64) and the row-cache digest
+    is taken over the bytes actually served, so equal rows hit the cache
+    regardless of the caller's input dtype.  The covariate width is checked
+    against the fitted estimator here, at the service boundary, so a
+    malformed request fails with a clear error instead of a cryptic shape
+    mismatch deep inside the backbone matmul.
+    """
+    matrix = np.asarray(covariates, dtype=version.dtype, order="C")
     if matrix.ndim == 1:
         matrix = matrix.reshape(1, -1)
     if matrix.ndim != 2:
         raise ValueError(f"covariates must be 1-D or 2-D, got shape {matrix.shape}")
+    if matrix.shape[1] != version.num_features:
+        raise ValueError(
+            f"request has feature dimension {matrix.shape[1]} but model "
+            f"{version.name!r} (v{version.version}) was fitted with "
+            f"feature dimension {version.num_features}"
+        )
     return matrix
-
-
-def _row_digest(row: np.ndarray) -> bytes:
-    """Stable digest of one covariate row (the cache key payload)."""
-    return hashlib.blake2b(row.tobytes(), digest_size=16).digest()
 
 
 class PredictionService:
@@ -60,9 +70,14 @@ class PredictionService:
     max_batch_size:
         Upper bound on the number of rows per fused forward pass.
     cache_size:
-        Capacity of the per-model row-result LRU cache (0 disables caching).
+        Capacity of the per-version row-result LRU cache (0 disables caching).
     latency_window:
         Number of recent request latencies kept for percentile reporting.
+    registry:
+        An existing :class:`ModelRegistry` to serve from; a private one is
+        created when omitted.  Sharing a registry with a
+        :class:`~repro.serve.server.ServingFrontend` lets both serve the
+        same hot-swappable versions.
     """
 
     def __init__(
@@ -70,19 +85,21 @@ class PredictionService:
         max_batch_size: int = 2048,
         cache_size: int = 8192,
         latency_window: int = 1024,
+        registry: Optional[ModelRegistry] = None,
     ) -> None:
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
         self.max_batch_size = max_batch_size
         self.cache_size = cache_size
         self.latency_window = latency_window
-        self._models: Dict[str, HTEEstimator] = {}
-        self._caches: Dict[str, LRUCache] = {}
-        self._stats: Dict[str, ModelStats] = {}
-        self._lock = threading.Lock()
+        self.registry = (
+            registry
+            if registry is not None
+            else ModelRegistry(cache_size=cache_size, latency_window=latency_window)
+        )
 
     # ------------------------------------------------------------------ #
-    # Model management
+    # Model management (delegated to the registry)
     # ------------------------------------------------------------------ #
     @classmethod
     def from_artifacts(cls, artifacts: Mapping[str, object], **kwargs) -> "PredictionService":
@@ -93,82 +110,65 @@ class PredictionService:
         return service
 
     def register_model(self, name: str, estimator: HTEEstimator) -> str:
-        """Add a fitted in-memory estimator under ``name``."""
+        """Deploy a fitted in-memory estimator under ``name``."""
         if not isinstance(estimator, HTEEstimator):
             raise TypeError(f"expected an HTEEstimator, got {type(estimator).__name__}")
-        if not estimator.is_fitted:
-            raise ValueError(f"model {name!r} is not fitted; fit or load it first")
-        with self._lock:
-            self._models[name] = estimator
-            self._caches[name] = LRUCache(self.cache_size)
-            self._stats[name] = ModelStats(window=self.latency_window)
+        self.registry.deploy(name, estimator)
         return name
 
     def load_model(self, name: str, path) -> str:
         """Load a saved artifact (see :meth:`HTEEstimator.save`) as ``name``."""
-        return self.register_model(name, HTEEstimator.load(path))
+        self.registry.deploy(name, path)
+        return name
+
+    def deploy(self, name: str, source: ModelSource) -> ModelVersion:
+        """Hot-swap ``name`` to a new version built from ``source``.
+
+        The swap is atomic and zero-downtime: requests already in flight
+        finish on the version they leased; every later request sees the new
+        one.  Returns the deployed :class:`ModelVersion`.
+        """
+        return self.registry.deploy(name, source)
+
+    def rollback(self, name: str) -> ModelVersion:
+        """Re-activate the previously live version of ``name``."""
+        return self.registry.rollback(name)
 
     def unload_model(self, name: str) -> None:
-        with self._lock:
-            self._require_model(name)
-            del self._models[name]
-            del self._caches[name]
-            del self._stats[name]
+        self.registry.undeploy(name)
 
     @property
     def model_names(self) -> List[str]:
-        return list(self._models)
+        return self.registry.names
 
-    def model(self, name: str) -> HTEEstimator:
-        return self._require_model(name)
+    def model(self, name: Optional[str] = None) -> HTEEstimator:
+        return self.registry.live(name).estimator
 
-    def _require_model(self, name: Optional[str]) -> HTEEstimator:
-        if name is None:
-            if len(self._models) == 1:
-                return next(iter(self._models.values()))
-            raise ValueError(
-                f"model name required when serving {len(self._models)} models; "
-                f"available: {self.model_names}"
-            )
-        try:
-            return self._models[name]
-        except KeyError:
-            raise ValueError(f"unknown model {name!r}; available: {self.model_names}") from None
-
-    def _model_context(
-        self, name: Optional[str]
-    ) -> Tuple[HTEEstimator, LRUCache, ModelStats]:
-        """Snapshot one model's estimator/cache/stats under the lock.
-
-        Requests keep these references for their whole lifetime, so a
-        concurrent ``unload_model`` / ``reset_stats`` cannot crash an
-        in-flight request — the old cache and counters simply become
-        unreachable once the last in-flight request drops them.
-        """
-        with self._lock:
-            estimator = self._require_model(name)
-            if name is None:
-                name = next(key for key, value in self._models.items() if value is estimator)
-            return estimator, self._caches[name], self._stats[name]
+    def model_report(self, name: str) -> List[Dict[str, object]]:
+        """Per-version deployment report (state, source, stats) for ``name``."""
+        return self.registry.model_report(name)
 
     # ------------------------------------------------------------------ #
     # Prediction
     # ------------------------------------------------------------------ #
     def predict(self, covariates: ArrayLike, model: Optional[str] = None) -> Dict[str, np.ndarray]:
         """Predict ``{"mu0", "mu1", "ite"}`` for one block of covariates."""
-        estimator, cache, stats = self._model_context(model)
-        matrix = _as_matrix(covariates)
-        start = time.perf_counter()
-        result, hits, misses, batches = self._predict_cached(estimator, cache, matrix)
-        elapsed = time.perf_counter() - start
-        with self._lock:
-            stats.record(
-                rows=len(matrix),
-                seconds=elapsed,
-                batches=batches,
-                cache_hits=hits,
-                cache_misses=misses,
-            )
+        version = self.registry.acquire(model)
+        try:
+            matrix = as_request_matrix(covariates, version)
+            start = time.perf_counter()
+            result, hits, misses, batches = version.predict_rows(matrix, self.max_batch_size)
+            elapsed = time.perf_counter() - start
+            with version.lock:
+                version.stats.record(
+                    rows=len(matrix),
+                    seconds=elapsed,
+                    batches=batches,
+                    cache_hits=hits,
+                    cache_misses=misses,
+                )
+        finally:
+            self.registry.release(version)
         return result
 
     def predict_ite(self, covariates: ArrayLike, model: Optional[str] = None) -> np.ndarray:
@@ -186,91 +186,46 @@ class PredictionService:
         Results are returned in request order, each with the same keys as
         :meth:`predict`.
         """
-        estimator, cache, stats = self._model_context(model)
-        matrices = [_as_matrix(request) for request in requests]
-        if not matrices:
-            return []
-        widths = {matrix.shape[1] for matrix in matrices}
-        if len(widths) > 1:
-            raise ValueError(f"requests disagree on feature dimension: {sorted(widths)}")
+        version = self.registry.acquire(model)
+        try:
+            matrices = [as_request_matrix(request, version) for request in requests]
+            if not matrices:
+                return []
 
-        start = time.perf_counter()
-        fused = np.concatenate(matrices, axis=0) if len(matrices) > 1 else matrices[0]
-        fused_result, hits, misses, batches = self._predict_cached(estimator, cache, fused)
-        elapsed = time.perf_counter() - start
-
-        results: List[Dict[str, np.ndarray]] = []
-        offset = 0
-        for matrix in matrices:
-            end = offset + len(matrix)
-            results.append({key: value[offset:end] for key, value in fused_result.items()})
-            offset = end
-
-        with self._lock:
-            stats.record(
-                rows=len(fused),
-                seconds=elapsed,
-                requests=len(matrices),
-                batches=batches,
-                cache_hits=hits,
-                cache_misses=misses,
+            start = time.perf_counter()
+            fused = np.concatenate(matrices, axis=0) if len(matrices) > 1 else matrices[0]
+            fused_result, hits, misses, batches = version.predict_rows(
+                fused, self.max_batch_size
             )
+            elapsed = time.perf_counter() - start
+
+            results: List[Dict[str, np.ndarray]] = []
+            offset = 0
+            for matrix in matrices:
+                end = offset + len(matrix)
+                results.append({key: value[offset:end] for key, value in fused_result.items()})
+                offset = end
+
+            with version.lock:
+                version.stats.record(
+                    rows=len(fused),
+                    seconds=elapsed,
+                    requests=len(matrices),
+                    batches=batches,
+                    cache_hits=hits,
+                    cache_misses=misses,
+                )
+        finally:
+            self.registry.release(version)
         return results
-
-    def _predict_cached(
-        self, estimator: HTEEstimator, cache: LRUCache, matrix: np.ndarray
-    ) -> Tuple[Dict[str, np.ndarray], int, int, int]:
-        """Row-cached, chunked prediction for one fused matrix.
-
-        Returns ``(result, cache_hits, cache_misses, forward_batches)``.
-        """
-        n = len(matrix)
-        mu0 = np.empty(n, dtype=np.float64)
-        mu1 = np.empty(n, dtype=np.float64)
-
-        # Hash outside the lock — digesting thousands of rows is pure CPU
-        # work that must not serialise concurrent requests on other models.
-        digests = [_row_digest(matrix[index]) for index in range(n)]
-        miss_indices: List[int] = []
-        with self._lock:
-            for index, digest in enumerate(digests):
-                cached = cache.get(digest)
-                if cached is None:
-                    miss_indices.append(index)
-                else:
-                    mu0[index], mu1[index] = cached
-        hits = n - len(miss_indices)
-
-        batches = 0
-        if miss_indices:
-            miss_matrix = matrix[miss_indices]
-            for chunk_start in range(0, len(miss_matrix), self.max_batch_size):
-                chunk = miss_matrix[chunk_start : chunk_start + self.max_batch_size]
-                outputs = estimator.predict_potential_outcomes(chunk)
-                batches += 1
-                rows = miss_indices[chunk_start : chunk_start + len(chunk)]
-                mu0[rows] = outputs["mu0"]
-                mu1[rows] = outputs["mu1"]
-            with self._lock:
-                for index in miss_indices:
-                    cache.put(digests[index], (mu0[index], mu1[index]))
-
-        return {"mu0": mu0, "mu1": mu1, "ite": mu1 - mu0}, hits, len(miss_indices), batches
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     def stats(self, model: Optional[str] = None) -> Dict[str, Dict[str, float]]:
-        """Per-model counter summaries (all models, or just one)."""
-        with self._lock:
-            if model is not None:
-                self._require_model(model)
-                return {model: self._stats[model].summary()}
-            return {name: stats.summary() for name, stats in self._stats.items()}
+        """Live-version counter summaries (all models, or just one)."""
+        return self.registry.stats(model)
 
     def reset_stats(self) -> None:
-        """Zero every counter and empty every cache."""
-        with self._lock:
-            for name in self._models:
-                self._caches[name] = LRUCache(self.cache_size)
-                self._stats[name] = ModelStats(window=self.latency_window)
+        """Zero every counter and empty every cache (all versions)."""
+        self.registry.reset_stats()

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import time
 
 import numpy as np
@@ -162,6 +163,119 @@ class TestPredictionService:
         )
         service.unload_model("b")
         assert service.model_names == ["a"]
+
+
+class TestRequestValidation:
+    def test_predict_rejects_wrong_width_naming_both_dimensions(self, service):
+        with pytest.raises(ValueError) as excinfo:
+            service.predict(np.zeros((3, 5)), model="main")
+        message = str(excinfo.value)
+        assert "feature dimension 5" in message
+        assert "feature dimension 14" in message
+        assert "main" in message
+
+    def test_predict_many_rejects_wrong_width_before_any_forward(self, service):
+        with pytest.raises(ValueError, match="feature dimension"):
+            service.predict_many([np.zeros((2, 3))], model="main")
+        assert service.stats("main")["main"]["requests"] == 0.0
+
+    def test_three_dimensional_request_rejected(self, service):
+        with pytest.raises(ValueError, match="1-D or 2-D"):
+            service.predict(np.zeros((2, 2, 14)), model="main")
+
+
+class TestFittedDtypeServing:
+    @pytest.fixture(scope="class")
+    def float32_estimator(self, small_train):
+        config = SBRLConfig(
+            backbone=BackboneConfig(rep_layers=2, rep_units=12, head_layers=2, head_units=8),
+            training=TrainingConfig(
+                iterations=25,
+                learning_rate=1e-2,
+                evaluation_interval=10,
+                early_stopping_patience=None,
+                seed=0,
+                dtype="float32",
+            ),
+        )
+        return HTEEstimator(
+            backbone="cfr", framework="vanilla", config=config, seed=2
+        ).fit(small_train)
+
+    def test_fitted_dtype_property(self, served_estimator, float32_estimator, fast_config):
+        assert served_estimator.fitted_dtype == np.dtype(np.float64)
+        assert float32_estimator.fitted_dtype == np.dtype(np.float32)
+        with pytest.raises(RuntimeError, match="must be fit"):
+            HTEEstimator(config=fast_config).fitted_dtype
+
+    def test_float32_model_served_in_float32(self, float32_estimator, small_ood):
+        service = PredictionService()
+        service.register_model("f32", float32_estimator)
+        result = service.predict(small_ood.covariates.astype(np.float64), model="f32")
+        for key in ("mu0", "mu1", "ite"):
+            assert result[key].dtype == np.float32
+
+    def test_cache_keys_are_dtype_stable(self, float32_estimator, small_ood):
+        """The same rows sent as float64 and float32 must share cache entries."""
+        service = PredictionService()
+        service.register_model("f32", float32_estimator)
+        block = small_ood.covariates[:16]
+        service.predict(block.astype(np.float64), model="f32")
+        service.predict(block.astype(np.float32), model="f32")
+        stats = service.stats("f32")["f32"]
+        assert stats["cache_hits"] >= 16
+
+    def test_float32_dtype_survives_save_load(self, float32_estimator, tmp_path, small_ood):
+        float32_estimator.save(tmp_path / "f32")
+        reloaded = HTEEstimator.load(tmp_path / "f32")
+        assert reloaded.fitted_dtype == np.dtype(np.float32)
+        np.testing.assert_allclose(
+            reloaded.predict_ite(small_ood.covariates),
+            float32_estimator.predict_ite(small_ood.covariates),
+        )
+
+
+class TestConcurrentLifecycle:
+    def test_concurrent_predict_and_lifecycle_churn(self, served_estimator, small_ood):
+        """predict racing unload/register/reset_stats must never crash or hang.
+
+        Pins the snapshot contract: a request leases one version for its
+        whole lifetime, so lifecycle churn can only ever surface as the
+        documented ``ValueError`` (unknown model), never as a crash,
+        deadlock or partially-swapped state.
+        """
+        service = PredictionService(cache_size=64)
+        service.register_model("m", served_estimator)
+        block = small_ood.covariates[:8]
+        stop = threading.Event()
+        errors = []
+
+        def hammer():
+            while not stop.is_set():
+                try:
+                    result = service.predict(block, model="m")
+                    assert result["ite"].shape == (len(block),)
+                except ValueError as exc:  # unloaded between requests: expected
+                    assert "unknown model" in str(exc)
+                except Exception as exc:  # noqa: BLE001 — the test's whole point
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline:
+            service.unload_model("m")
+            service.register_model("m", served_estimator)
+            service.reset_stats()
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not any(thread.is_alive() for thread in threads), "predict deadlocked"
+        assert errors == []
+        # The service is still fully functional afterwards.
+        assert service.predict(block, model="m")["ite"].shape == (len(block),)
 
 
 class TestMicrobatchingSpeedup:

@@ -1,0 +1,200 @@
+"""Tests for the versioned model registry (deploy, rollback, lease/drain)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import BackboneConfig, SBRLConfig, TrainingConfig
+from repro.core.estimator import HTEEstimator
+from repro.persistence import ArtifactError, artifact_fingerprint
+from repro.serve import ModelRegistry
+
+
+def _fit(small_train, seed: int) -> HTEEstimator:
+    config = SBRLConfig(
+        backbone=BackboneConfig(rep_layers=2, rep_units=12, head_layers=2, head_units=8),
+        training=TrainingConfig(
+            iterations=20,
+            learning_rate=1e-2,
+            evaluation_interval=10,
+            early_stopping_patience=None,
+            seed=0,
+        ),
+    )
+    return HTEEstimator(
+        backbone="cfr", framework="vanilla", config=config, seed=seed
+    ).fit(small_train)
+
+
+@pytest.fixture(scope="module")
+def estimator_a(small_train):
+    return _fit(small_train, seed=1)
+
+
+@pytest.fixture(scope="module")
+def estimator_b(small_train):
+    return _fit(small_train, seed=2)
+
+
+class TestDeploy:
+    def test_deploy_estimator(self, estimator_a):
+        registry = ModelRegistry()
+        version = registry.deploy("m", estimator_a)
+        assert version.version == 1
+        assert version.live and version.state == "live"
+        assert version.source == "<memory>"
+        assert version.fingerprint is None
+        assert registry.live("m") is version
+        assert "m" in registry and registry.names == ["m"]
+
+    def test_deploy_from_artifact_records_fingerprint(self, estimator_a, tmp_path):
+        path = estimator_a.save(tmp_path / "a")
+        registry = ModelRegistry()
+        version = registry.deploy("m", path)
+        assert version.source == str(path)
+        assert version.fingerprint == artifact_fingerprint(path)
+        covariates = np.zeros((2, estimator_a.num_features))
+        np.testing.assert_allclose(
+            version.estimator.predict_ite(covariates), estimator_a.predict_ite(covariates)
+        )
+
+    def test_versions_increment_and_swap_is_atomic(self, estimator_a, estimator_b):
+        registry = ModelRegistry()
+        v1 = registry.deploy("m", estimator_a)
+        v2 = registry.deploy("m", estimator_b)
+        assert (v1.version, v2.version) == (1, 2)
+        assert registry.live("m") is v2
+        assert not v1.live and v1.state == "retired"
+
+    def test_deploy_unfitted_estimator_rejected(self):
+        registry = ModelRegistry()
+        with pytest.raises(ValueError, match="not fitted"):
+            registry.deploy("m", HTEEstimator())
+
+    def test_deploy_wrong_type_rejected(self, estimator_a):
+        registry = ModelRegistry()
+        with pytest.raises(TypeError, match="HTEEstimator or artifact path"):
+            registry.deploy("m", 42)
+
+    def test_deploy_missing_artifact_rejected(self, tmp_path):
+        registry = ModelRegistry()
+        with pytest.raises(ArtifactError):
+            registry.deploy("m", tmp_path / "nothing-here")
+
+
+class TestLeaseProtocol:
+    def test_acquire_release_and_drain(self, estimator_a, estimator_b):
+        registry = ModelRegistry()
+        v1 = registry.deploy("m", estimator_a)
+        leased = registry.acquire("m")
+        assert leased is v1 and v1.inflight == 1
+
+        registry.deploy("m", estimator_b)
+        # v1 is superseded but still leased: draining, not drained.
+        assert v1.state == "draining"
+        assert v1.wait_drained(timeout=0.01) is False
+        # New acquisitions land on the new live version.
+        assert registry.acquire("m").version == 2
+
+        registry.release(v1)
+        assert v1.wait_drained(timeout=1.0) is True
+        assert v1.state == "retired"
+
+    def test_acquire_needs_name_with_multiple_models(self, estimator_a, estimator_b):
+        registry = ModelRegistry()
+        registry.deploy("a", estimator_a)
+        registry.deploy("b", estimator_b)
+        with pytest.raises(ValueError, match="model name required"):
+            registry.acquire()
+        with pytest.raises(ValueError, match="unknown model"):
+            registry.acquire("c")
+
+    def test_single_model_needs_no_name(self, estimator_a):
+        registry = ModelRegistry()
+        registry.deploy("only", estimator_a)
+        assert registry.acquire().name == "only"
+        assert registry.live().name == "only"
+
+
+class TestRollback:
+    def test_rollback_reactivates_previous_live(self, estimator_a, estimator_b):
+        registry = ModelRegistry()
+        v1 = registry.deploy("m", estimator_a)
+        v2 = registry.deploy("m", estimator_b)
+        restored = registry.rollback("m")
+        assert restored is v1 and v1.live
+        assert not v2.live and v2.state == "retired"
+
+    def test_rollback_without_history_rejected(self, estimator_a):
+        registry = ModelRegistry()
+        registry.deploy("m", estimator_a)
+        with pytest.raises(ValueError, match="cannot roll back"):
+            registry.rollback("m")
+
+    def test_history_is_a_stack_across_deploys_and_rollbacks(
+        self, estimator_a, estimator_b
+    ):
+        """Rollback after deploy-after-rollback lands on what was live."""
+        registry = ModelRegistry()
+        v1 = registry.deploy("m", estimator_a)
+        registry.deploy("m", estimator_b)
+        registry.rollback("m")                    # live: v1
+        v3 = registry.deploy("m", estimator_b)    # live: v3, supersedes v1
+        assert registry.live("m") is v3
+        assert registry.rollback("m") is v1       # not v2: v1 was actually live
+        with pytest.raises(ValueError, match="cannot roll back"):
+            registry.rollback("m")                # v1's own predecessor: none
+
+
+class TestUndeployAndIntrospection:
+    def test_undeploy_removes_name(self, estimator_a):
+        registry = ModelRegistry()
+        registry.deploy("m", estimator_a)
+        registry.undeploy("m")
+        assert registry.names == []
+        with pytest.raises(ValueError, match="unknown model"):
+            registry.live("m")
+
+    def test_undeploy_with_inflight_lease_drains_on_release(self, estimator_a):
+        registry = ModelRegistry()
+        version = registry.deploy("m", estimator_a)
+        registry.acquire("m")
+        registry.undeploy("m")
+        assert version.state == "draining"
+        registry.release(version)
+        assert version.wait_drained(timeout=1.0) is True
+
+    def test_stats_and_model_report(self, estimator_a, estimator_b):
+        registry = ModelRegistry()
+        registry.deploy("m", estimator_a)
+        version = registry.acquire("m")
+        matrix = np.zeros((3, estimator_a.num_features))
+        version.predict_rows(matrix, max_batch_size=8)
+        with version.lock:
+            version.stats.record(rows=3, seconds=0.01)
+        registry.release(version)
+        registry.deploy("m", estimator_b)
+
+        stats = registry.stats()
+        assert stats["m"]["requests"] == 0.0  # live version (v2) is fresh
+
+        report = registry.model_report("m")
+        assert [entry["version"] for entry in report] == [1, 2]
+        assert [entry["state"] for entry in report] == ["retired", "live"]
+        assert report[0]["stats"]["rows"] == 3.0
+
+        registry.reset_stats()
+        assert registry.model_report("m")[0]["stats"]["rows"] == 0.0
+
+
+class TestArtifactFingerprint:
+    def test_stable_and_content_sensitive(self, estimator_a, estimator_b, tmp_path):
+        path_a = estimator_a.save(tmp_path / "a")
+        path_b = estimator_b.save(tmp_path / "b")
+        assert artifact_fingerprint(path_a) == artifact_fingerprint(path_a)
+        assert artifact_fingerprint(path_a) != artifact_fingerprint(path_b)
+
+    def test_non_artifact_rejected(self, tmp_path):
+        with pytest.raises(ArtifactError):
+            artifact_fingerprint(tmp_path)
