@@ -213,9 +213,11 @@ class BaseBackbone(Module):
     def invalidate_compiled(self) -> None:
         """Drop the cached compiled-inference closure (if any).
 
-        Needed only after mutating a parameter buffer *in place*
-        (``param.data[...] = v``) — assignment-based updates (optimiser
-        steps, ``load_state_dict``) are detected automatically.
+        Needed only after mutating a parameter buffer *in place* without
+        bumping the tensor's ``_version`` (``param.data[...] = v``) —
+        assignment-based updates (``load_state_dict``) and the in-place
+        optimiser steps (which bump ``_version``) are detected
+        automatically.
         """
         self._compiled_cache = None
 
@@ -223,11 +225,13 @@ class BaseBackbone(Module):
         """Return the compiled inference closure, re-compiling when stale.
 
         Compiled closures are full parameter snapshots, keyed on the
-        identity of every parameter's array: an optimiser step or
-        ``load_state_dict`` swaps those arrays and invalidates the cache.
-        The keyed arrays are held strongly alongside the key, so a freed
-        buffer's id can never be recycled into a false cache hit.  An
-        un-compilable backbone is remembered as such (``False``).
+        ``(identity, version)`` of every parameter's array: in-place
+        optimiser steps bump the tensor ``_version`` while
+        ``load_state_dict`` swaps the arrays themselves, so either update
+        style invalidates the cache.  The keyed arrays are held strongly
+        alongside the key, so a freed buffer's id can never be recycled
+        into a false cache hit.  An un-compilable backbone is remembered as
+        such (``False``).
         """
         cached = getattr(self, "_compiled_cache", None)
         if cached is False:
@@ -236,10 +240,13 @@ class BaseBackbone(Module):
         if params is None:
             # The module tree of a compilable (stock) backbone is fixed after
             # construction; flatten it once so the per-predict staleness
-            # probe is a plain id() sweep.
+            # probe is a plain id()/version sweep.
             params = self._flat_params = tuple(self.parameters())
         buffers = tuple(param.data for param in params)
-        key = tuple(map(id, buffers))
+        key = tuple(
+            (id(buffer), getattr(param, "_version", 0))
+            for buffer, param in zip(buffers, params)
+        )
         if cached is not None and cached[1] == key:
             return cached[0]
         from .compiled import compile_backbone

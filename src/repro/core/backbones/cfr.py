@@ -16,6 +16,7 @@ import numpy as np
 
 from ...metrics.ipm import weighted_ipm
 from ...metrics.subsampling import subsample_indices
+from ...nn.tape import dynamic as tape_dynamic
 from ...nn.tensor import Tensor, as_tensor
 from .base import BackboneForward
 from .tarnet import TARNet
@@ -48,9 +49,16 @@ class CFR(TARNet):
         threshold = self.regularizers.subsample_threshold
         if threshold is not None and len(treatment) > threshold:
             # Kernel IPMs are O(n²); above the threshold estimate the
-            # penalty on a seeded anchor draw from each arm instead.
-            treated_idx = self._balance_anchors(treated_idx)
-            control_idx = self._balance_anchors(control_idx)
+            # penalty on a seeded anchor draw from each arm instead.  Both
+            # draws go through one tape provider so graph replay re-draws
+            # them per step, advancing _balance_rng exactly as eager would.
+            full_treated, full_control = treated_idx, control_idx
+            treated_idx, control_idx = tape_dynamic(
+                lambda: (
+                    self._balance_anchors(full_treated),
+                    self._balance_anchors(full_control),
+                )
+            )
         rep = forward.representation
         rep_treated = rep[treated_idx]
         rep_control = rep[control_idx]

@@ -20,12 +20,13 @@ the graph path to reassociation level (``~1e-15`` relative; asserted in
 Compilation **snapshots every parameter array** (copies), so a compiled
 closure is one coherent parameter version.  Callers obtain closures
 through ``BaseBackbone._compiled_inference``, which re-compiles whenever a
-parameter's underlying buffer identity changes — the repo's update paths
-(``Optimizer.step``, ``load_state_dict``, ``param.data = ...``) all assign
-fresh buffers, so they invalidate automatically.  The one unsupported
-pattern is mutating a parameter buffer *in place* (``param.data[...] =
-v``); that leaves the buffer identity unchanged and keeps serving the
-snapshot — call :meth:`BaseBackbone.invalidate_compiled` (or predict with
+parameter's ``(buffer identity, tensor _version)`` pair changes — the
+repo's update paths (the in-place ``Optimizer.step`` bumps ``_version``;
+``load_state_dict`` and ``param.data = ...`` assign fresh buffers) all
+invalidate automatically.  The one unsupported pattern is mutating a
+parameter buffer *in place* without bumping ``_version`` (``param.data[...]
+= v``); that keeps serving the snapshot — call
+:meth:`BaseBackbone.invalidate_compiled` (or predict with
 ``compiled=False``) after such writes.
 
 Backbones with custom ``forward`` implementations (or non-stock component

@@ -120,6 +120,13 @@ class TrainingConfig:
     #: traffic for an opt-in speedup at the cost of ~1e-7-level numeric
     #: drift.  Evaluation metrics are always computed in float64.
     dtype: str = "float64"
+    #: Graph-replay mode.  ``"auto"`` (the default) records the network
+    #: step's forward/backward as a replayable kernel program on first
+    #: execution and replays it — bit-identically — on subsequent steps,
+    #: re-recording whenever the batch identity, shapes, dtype or config
+    #: change and falling back to eager (with a one-time warning) for ops
+    #: without a replay kernel.  ``"off"`` always executes eagerly.
+    graph_replay: str = "auto"
 
     def __post_init__(self) -> None:
         if self.iterations <= 0:
@@ -134,6 +141,8 @@ class TrainingConfig:
             raise ValueError("batch_size must be at least 2 (or None for full batch)")
         if self.dtype not in ("float32", "float64"):
             raise ValueError("dtype must be 'float32' or 'float64'")
+        if self.graph_replay not in ("off", "auto"):
+            raise ValueError("graph_replay must be 'off' or 'auto'")
 
 
 @dataclass

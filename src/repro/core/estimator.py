@@ -193,15 +193,14 @@ class HTEEstimator:
     # ------------------------------------------------------------------ #
     # Fitting
     # ------------------------------------------------------------------ #
-    def fit(
-        self, train: CausalDataset, validation: Optional[CausalDataset] = None
-    ) -> "HTEEstimator":
-        """Fit the estimator on one training population.
+    def build_trainer(self, train: CausalDataset) -> SBRLTrainer:
+        """Construct (and attach) the trainer for ``train`` without fitting it.
 
-        ``config.training.dtype`` selects the precision of the whole
-        training graph: the backbone parameters are *initialised* inside the
-        dtype scope, so float32 training really runs float32 end to end
-        rather than up-casting on every op.
+        This is the first half of :meth:`fit`: the backbone is initialised
+        from ``self.seed`` inside the dtype scope, so the parameter draws are
+        identical to what a full ``fit`` would produce.  Callers that drive
+        training themselves (e.g. the stacked multi-seed replay runner in
+        :mod:`repro.core.stacked`) use this to obtain an untrained trainer.
         """
         binary = self.binary_outcome if self.binary_outcome is not None else train.binary_outcome
         rng = np.random.default_rng(self.seed)
@@ -222,7 +221,21 @@ class HTEEstimator:
                 use_independence=self.use_independence,
                 use_hierarchy=self.use_hierarchy,
             )
-            self.trainer.fit(train, validation)
+        return self.trainer
+
+    def fit(
+        self, train: CausalDataset, validation: Optional[CausalDataset] = None
+    ) -> "HTEEstimator":
+        """Fit the estimator on one training population.
+
+        ``config.training.dtype`` selects the precision of the whole
+        training graph: the backbone parameters are *initialised* inside the
+        dtype scope, so float32 training really runs float32 end to end
+        rather than up-casting on every op.
+        """
+        trainer = self.build_trainer(train)
+        with dtype_scope(self.config.training.dtype):
+            trainer.fit(train, validation)
         return self
 
     def _require_fitted(self) -> SBRLTrainer:

@@ -22,6 +22,8 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
+from ..nn.tensor import tensor_alloc_count
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..data.batching import DataLoader
     from ..data.dataset import CausalDataset
@@ -48,6 +50,15 @@ class IterationRecord:
     batch_size: int
     validation_loss: Optional[float] = None
     improved: bool = False
+    #: Whether the network step was served by a replayed kernel program
+    #: (``TrainingConfig.graph_replay``) instead of eager graph construction.
+    replay_hit: bool = False
+    #: Gradient-graph size of the network step (``None`` on eager steps
+    #: without a recorded program).
+    graph_nodes: Optional[int] = None
+    #: Tensors allocated during this iteration (``tensor_alloc_count`` delta
+    #: over the network + weight updates); replayed steps drive this to ~0.
+    tensor_allocs: Optional[int] = None
 
 
 class Callback:
@@ -84,9 +95,11 @@ class VerboseLogger(Callback):
         self.label = label
 
     def on_evaluation(self, loop: "TrainingLoop", record: IterationRecord) -> None:
+        replay_state = "replay" if record.replay_hit else "eager"
         print(
             f"[{self.label}] iter={record.iteration:5d} "
-            f"loss={record.network_loss:.4f} val={record.validation_loss:.4f}"
+            f"loss={record.network_loss:.4f} val={record.validation_loss:.4f} "
+            f"[{replay_state}]"
         )
 
 
@@ -179,6 +192,7 @@ class TrainingLoop:
             # index array), preserving the historical code path exactly.
             indices = None if self.full_batch else batch.indices
 
+            allocs_before = tensor_alloc_count()
             network_loss = trainer._network_step(
                 batch.covariates, batch.treatment, batch.outcome, indices
             )
@@ -188,11 +202,15 @@ class TrainingLoop:
                     batch.covariates, batch.treatment, cfg, indices
                 )
 
+            step_stats = getattr(trainer, "last_step_stats", None) or {}
             record = IterationRecord(
                 iteration=iteration,
                 network_loss=network_loss,
                 weight_loss=weight_loss,
                 batch_size=len(batch),
+                replay_hit=bool(step_stats.get("replay_hit", False)),
+                graph_nodes=step_stats.get("graph_nodes"),
+                tensor_allocs=tensor_alloc_count() - allocs_before,
             )
             if iteration % cfg.evaluation_interval == 0 or iteration == cfg.iterations - 1:
                 record.validation_loss = (

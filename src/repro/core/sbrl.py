@@ -42,6 +42,7 @@ from .loop import (
     VerboseLogger,
 )
 from .regularizers.hierarchical import HierarchicalAttentionLoss
+from .replay import NetworkStepReplay
 from .weights import SampleWeights
 
 __all__ = ["SBRLTrainer", "TrainingHistory", "FrameworkSpec", "FRAMEWORKS", "FRAMEWORK_REGISTRY"]
@@ -180,6 +181,10 @@ class SBRLTrainer:
         )
         self.uses_weights = spec.uses_weights and self.weight_objective is not None
         self._optimizer: Optional[Adam] = None
+        self._replay: Optional[NetworkStepReplay] = None
+        #: Metrics of the most recent network step (set by the replay engine
+        #: or the eager path): ``{"replay_hit": bool, "graph_nodes": int|None}``.
+        self.last_step_stats: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------ #
     # Training
@@ -241,6 +246,7 @@ class SBRLTrainer:
 
         schedule = ExponentialDecay(cfg.learning_rate, cfg.lr_decay_rate, cfg.lr_decay_steps)
         self._optimizer = Adam(self.backbone.parameters(), schedule=schedule)
+        self._replay = NetworkStepReplay(self) if cfg.graph_replay == "auto" else None
 
         if self.uses_weights:
             self.sample_weights = SampleWeights(
@@ -262,6 +268,33 @@ class SBRLTrainer:
         self.history.elapsed_seconds = time.perf_counter() - start
         return self.history
 
+    def _network_forward_backward(
+        self,
+        covariates: np.ndarray,
+        treatment: np.ndarray,
+        outcome: np.ndarray,
+        indices: Optional[np.ndarray] = None,
+        weights_override: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Eager forward + backward of the network objective (no optimizer step).
+
+        ``weights_override`` substitutes a preallocated sample-weight buffer
+        (the graph-replay engine's refreshable input) for the values read
+        from :attr:`sample_weights`; it must already hold the same values
+        the eager read would produce.
+        """
+        weights_constant = None
+        if weights_override is not None:
+            weights_constant = as_tensor(weights_override)
+        elif self.uses_weights:
+            values = self.sample_weights.numpy()
+            weights_constant = as_tensor(values if indices is None else values[indices])
+        forward = self.backbone.forward(covariates, treatment)
+        loss = self.backbone.network_loss(forward, treatment, outcome, weights_constant)
+        self.backbone.zero_grad()
+        loss.backward()
+        return loss
+
     def _network_step(
         self,
         covariates: np.ndarray,
@@ -270,15 +303,11 @@ class SBRLTrainer:
         indices: Optional[np.ndarray] = None,
     ) -> float:
         """One gradient step on the network parameters, weights held fixed."""
-        weights_constant = None
-        if self.uses_weights:
-            values = self.sample_weights.numpy()
-            weights_constant = as_tensor(values if indices is None else values[indices])
-        forward = self.backbone.forward(covariates, treatment)
-        loss = self.backbone.network_loss(forward, treatment, outcome, weights_constant)
-        self.backbone.zero_grad()
-        loss.backward()
+        if self._replay is not None:
+            return self._replay.step(covariates, treatment, outcome, indices)
+        loss = self._network_forward_backward(covariates, treatment, outcome, indices)
         self._optimizer.step()
+        self.last_step_stats = {"replay_hit": False, "graph_nodes": None}
         return loss.item()
 
     def _update_weights(

@@ -1,0 +1,249 @@
+"""Stacked multi-seed replay: train K models in one fused kernel program.
+
+Replication studies fit the *same architecture* many times — across weight
+initialisation seeds or dataset replications — and each fit re-executes an
+identical kernel schedule.  On small populations the per-call NumPy dispatch
+overhead dominates those kernels, so running K structurally identical
+training steps as one :class:`~repro.nn.tape.StackedProgram` (every buffer
+gains a leading ``(K,)`` axis; elementwise chains and matmuls execute
+batched, reductions loop per slice) amortises the overhead K-fold while
+keeping every slice bitwise equal to its serial fit.
+
+:func:`fit_stacked` is the driver: it records iteration 0 of each model
+eagerly (exactly as the per-trainer replay engine would), fuses the K
+recorded programs, stacks the per-slice Adam state, and then replays the
+remaining iterations in lockstep while reproducing the serial training
+loop's bookkeeping — history cadence, best-state checkpointing with the
+same margin, final restore — per slice.
+
+Stacking is deliberately conservative: any configuration whose serial
+semantics cannot be reproduced in lockstep (sample-weight frameworks,
+minibatching, early stopping, validation sets, verbose logging) and any
+structural mismatch between the recorded programs (different sample sizes,
+different treatment patterns, an aborted recording) makes ``fit_stacked``
+return ``False`` without touching the estimators, and callers fall back to
+ordinary serial fits.  :func:`repro.experiments.runner.run_replications`
+wires this in behind its opt-in ``stacked_replay`` flag.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.dataset import CausalDataset
+from ..nn.optim import Adam, ExponentialDecay
+from ..nn.tape import StackedProgram, StackError, TapeRecorder
+from ..nn.tensor import dtype_scope
+from .estimator import HTEEstimator
+
+__all__ = ["fit_stacked"]
+
+logger = logging.getLogger(__name__)
+
+#: Best-state margin used by the serial loop's ``BestStateCheckpoint``.
+_BEST_MARGIN = 1e-9
+
+
+def _unsupported_reason(
+    estimators: Sequence[HTEEstimator], trains: Sequence[CausalDataset]
+) -> Optional[str]:
+    """Config-level screen; ``None`` means stacking may be attempted.
+
+    Structural problems (mismatched graphs, unsupported ops) are only
+    detectable after recording and are handled by the caller's fallback.
+    """
+    if len(estimators) < 2:
+        return "stacking needs at least two models"
+    if len(estimators) != len(trains):
+        return "one training dataset is required per estimator"
+    reference = repr(estimators[0].config)
+    for estimator in estimators:
+        if repr(estimator.config) != reference:
+            return "estimators differ in configuration"
+    cfg = estimators[0].config.training
+    if cfg.graph_replay == "off":
+        return "graph_replay is 'off'"
+    if cfg.batch_size is not None:
+        return "minibatch mode re-draws batches every iteration"
+    if cfg.early_stopping_patience is not None:
+        return "early stopping can end slices at different iterations"
+    if cfg.verbose:
+        return "verbose logging is a per-slice side effect"
+    return None
+
+
+def _record_history(trainer, iteration: int, loss: float, best) -> None:
+    """One evaluation tick, exactly as the serial callback stack performs it.
+
+    With no validation set the loop mirrors the network loss into
+    ``validation_loss``; ``BestStateCheckpoint`` compares against it with
+    the same margin and snapshots the parameters *after* the optimiser step.
+    """
+    history = trainer.history
+    history.iterations.append(iteration)
+    history.network_loss.append(loss)
+    history.weight_loss.append(float("nan"))
+    history.validation_loss.append(loss)
+    if loss < best["loss"] - _BEST_MARGIN:
+        best["loss"] = loss
+        best["state"] = best["snapshot"]()
+        history.best_iteration = iteration
+
+
+def _slice_snapshot(backbone, row_by_param: Dict[int, np.ndarray]) -> Dict[str, np.ndarray]:
+    """``state_dict()`` of one slice read out of the stacked buffers.
+
+    Parameters outside the recorded program never receive gradients (in the
+    serial fit too), so their live — unchanged — buffers are snapshotted.
+    """
+    return {
+        name: row_by_param[id(param)].copy()
+        if id(param) in row_by_param
+        else param.data.copy()
+        for name, param in backbone.named_parameters()
+    }
+
+
+def fit_stacked(
+    estimators: Sequence[HTEEstimator], trains: Sequence[CausalDataset]
+) -> bool:
+    """Fit K estimators (one per training dataset) via one stacked program.
+
+    Returns ``True`` when the stacked path ran: every estimator is then
+    fitted bitwise identically to ``estimator.fit(train)`` (full-batch,
+    no validation).  Returns ``False`` — leaving the estimators ready for
+    an ordinary serial fit — when the configuration or the recorded
+    programs do not support lockstep replay; the reason is logged once.
+
+    The estimators may differ in seed (the headline use case: K per-seed
+    parameter sets on one dataset) and the datasets may differ per slice,
+    as long as every recorded step has the same kernel schedule — in
+    practice that requires equal sample counts and, for backbones that
+    gather treatment arms by index, identical treatment assignments.
+    """
+    reason = _unsupported_reason(estimators, trains)
+    if reason is not None:
+        logger.info("stacked replay unavailable: %s; fitting serially", reason)
+        return False
+
+    cfg = estimators[0].config.training
+    start = time.perf_counter()
+    with dtype_scope(cfg.dtype):
+        trainers = []
+        programs = []
+        first_losses = []
+        for estimator, train in zip(estimators, trains):
+            trainer = estimator.build_trainer(train)
+            if trainer.uses_weights:
+                logger.info(
+                    "stacked replay unavailable: sample-weight frameworks "
+                    "interleave per-slice weight updates; fitting serially"
+                )
+                return False
+            train_std, mean, std = train.standardize()
+            trainer._standardize_mean, trainer._standardize_std = mean, std
+            schedule = ExponentialDecay(
+                cfg.learning_rate, cfg.lr_decay_rate, cfg.lr_decay_steps
+            )
+            trainer._optimizer = Adam(trainer.backbone.parameters(), schedule=schedule)
+            trainer._replay = None
+
+            # Iteration 0 runs eagerly under a recorder — identical cost and
+            # result to the per-trainer replay engine's record step.
+            recorder = TapeRecorder()
+            with recorder:
+                loss_tensor = trainer._network_forward_backward(
+                    train_std.covariates, train_std.treatment, train_std.outcome
+                )
+            trainer._optimizer.step()
+            program = recorder.finalize(loss_tensor)
+            if program is None:
+                logger.info(
+                    "stacked replay unavailable: %s; fitting serially",
+                    recorder.aborted or "recording aborted",
+                )
+                return False
+            trainers.append(trainer)
+            programs.append(program)
+            first_losses.append(loss_tensor.item())
+
+        try:
+            stacked = StackedProgram(programs)
+        except StackError as error:
+            logger.info("stacked replay unavailable: %s; fitting serially", error)
+            return False
+
+        K = len(trainers)
+        # Map each slice's live parameter tensors onto their stacked rows so
+        # best-state snapshots can be read straight out of the fused buffers.
+        rows: List[Dict[int, np.ndarray]] = [dict() for _ in range(K)]
+        for stacked_param, sources in zip(stacked.params, stacked.param_sources):
+            for k, source in enumerate(sources):
+                rows[k][id(source)] = stacked_param.data[k]
+
+        bests = []
+        for k, trainer in enumerate(trainers):
+            best = {
+                "loss": np.inf,
+                "state": None,
+                # Reads slice k out of the fused buffers; at iteration 0 they
+                # equal the live parameters (stacked right after the step).
+                "snapshot": lambda backbone=trainer.backbone, row=rows[k]: (
+                    _slice_snapshot(backbone, row)
+                ),
+            }
+            _record_history(trainer, 0, first_losses[k], best)
+            bests.append(best)
+
+        # The per-slice Adam states after step 1 are stacked into one
+        # optimiser over the fused parameters: the moment updates are
+        # elementwise, so each slice's arithmetic is untouched.
+        optimizer = Adam(stacked.params, schedule=trainers[0]._optimizer.schedule)
+        optimizer.step_count = 1
+        for stacked_param, sources in zip(stacked.params, stacked.param_sources):
+            key = id(stacked_param)
+            optimizer._m[key] = np.stack(
+                [
+                    trainers[k]._optimizer._m.get(
+                        id(sources[k]), np.zeros_like(sources[k].data)
+                    )
+                    for k in range(K)
+                ]
+            )
+            optimizer._v[key] = np.stack(
+                [
+                    trainers[k]._optimizer._v.get(
+                        id(sources[k]), np.zeros_like(sources[k].data)
+                    )
+                    for k in range(K)
+                ]
+            )
+
+        interval = cfg.evaluation_interval
+        for iteration in range(1, cfg.iterations):
+            losses = stacked.run()
+            optimizer.step()
+            if iteration % interval == 0 or iteration == cfg.iterations - 1:
+                for k, trainer in enumerate(trainers):
+                    _record_history(trainer, iteration, float(losses[k]), bests[k])
+
+        # Write the trained slices back into the live parameter tensors,
+        # then restore each slice's best state — the serial loop's
+        # ``BestStateCheckpoint.on_train_end``.
+        for stacked_param, sources in zip(stacked.params, stacked.param_sources):
+            for k, source in enumerate(sources):
+                source.data = stacked_param.data[k].copy()
+        elapsed = time.perf_counter() - start
+        for k, trainer in enumerate(trainers):
+            if bests[k]["state"] is not None:
+                trainer.backbone.load_state_dict(bests[k]["state"])
+            trainer.history.elapsed_seconds = elapsed / K
+            trainer.last_step_stats = {
+                "replay_hit": True,
+                "graph_nodes": stacked.graph_nodes,
+            }
+    return True

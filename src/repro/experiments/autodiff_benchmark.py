@@ -33,7 +33,7 @@ from ..data.synthetic import SyntheticConfig, SyntheticGenerator
 from ..metrics.hsic import RandomFourierFeatures, pairwise_decorrelation_loss
 from ..metrics.ipm import mmd_rbf_weighted
 from ..nn import functional as F
-from ..nn.tensor import Tensor, as_tensor, graph_node_count, tensor_alloc_count
+from ..nn.tensor import Tensor, as_tensor, dtype_scope, graph_node_count, tensor_alloc_count
 from ..serve import PredictionService
 from .reporting import format_table
 from .training_benchmark import _engine_config
@@ -220,6 +220,182 @@ def _training_step_section(
     }
 
 
+def _interleaved_best(fn_a: Callable[[], object], fn_b: Callable[[], object], repeats: int, passes: int = 3):
+    """Best-of mean latencies of two closures, measured in alternating
+    chunks so transient CPU contention hits both sides equally."""
+    fn_a()
+    fn_b()
+    best_a = best_b = float("inf")
+    for _ in range(passes):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            fn_a()
+        best_a = min(best_a, (time.perf_counter() - start) / repeats)
+        start = time.perf_counter()
+        for _ in range(repeats):
+            fn_b()
+        best_b = min(best_b, (time.perf_counter() - start) / repeats)
+    return best_a, best_b
+
+
+def _replay_step_comparison(num_samples: int, repeats: int, seed: int) -> Dict[str, object]:
+    """Eager vs replayed network step at the training-benchmark setting."""
+    generator = SyntheticGenerator(SyntheticConfig(seed=seed))
+    protocol = generator.generate_train_test_protocol(
+        num_samples=num_samples, train_rho=2.5, test_rhos=(2.5,), seed=seed
+    )
+    config = _engine_config(2, None, None, 256, seed)
+    estimator = HTEEstimator(backbone="cfr", framework="sbrl-hap", config=config, seed=seed)
+    estimator.fit(protocol["train"])  # leaves a live trainer + replay engine
+    trainer = estimator.trainer
+    train_std = protocol["train"].standardize()[0]
+    covariates, treatment, outcome = (
+        train_std.covariates,
+        train_std.treatment,
+        train_std.outcome,
+    )
+    with dtype_scope(config.training.dtype):
+        replay_engine = trainer._replay
+
+        def replay_step():
+            trainer._replay = replay_engine
+            trainer._network_step(covariates, treatment, outcome, None)
+
+        def eager_step():
+            trainer._replay = None
+            trainer._network_step(covariates, treatment, outcome, None)
+
+        replay_step()  # records once; subsequent calls are cache hits
+        assert trainer.last_step_stats is not None
+        allocs_before = tensor_alloc_count()
+        replay_step()
+        replay_allocs = tensor_alloc_count() - allocs_before
+        graph_nodes = trainer.last_step_stats.get("graph_nodes")
+        replay_seconds, eager_seconds = _interleaved_best(replay_step, eager_step, repeats)
+        trainer._replay = replay_engine
+    return {
+        "num_samples": num_samples,
+        "backbone": "cfr",
+        "framework": "sbrl-hap",
+        "eager_seconds_per_step": float(eager_seconds),
+        "replay_seconds_per_step": float(replay_seconds),
+        "speedup": float(eager_seconds / replay_seconds),
+        "graph_nodes": graph_nodes,
+        "tensor_allocs_per_replay": int(replay_allocs),
+    }
+
+
+def _stacked_replication_comparison(
+    num_samples: int, stack_size: int, repeats: int, seed: int
+) -> Dict[str, object]:
+    """K per-seed models: serial eager steps vs one stacked replayed step.
+
+    Small-sample replication sweeps are where stacking pays: each slice's
+    kernels are dispatch-bound, so fusing K of them into one ``(K, ...)``
+    batched program amortises the per-call overhead K-fold (bit-identically
+    per slice).  The end-to-end numbers run the public ``fit_stacked``
+    driver against serial ``fit`` calls over a full training schedule.
+    """
+    from ..core.stacked import fit_stacked
+    from ..nn.optim import Adam, ExponentialDecay
+    from ..nn.tape import StackedProgram, TapeRecorder
+
+    generator = SyntheticGenerator(SyntheticConfig(seed=seed))
+    protocol = generator.generate_train_test_protocol(
+        num_samples=num_samples, train_rho=2.5, test_rhos=(2.5,), seed=seed
+    )
+    train = protocol["train"]
+    config = _engine_config(40, None, None, 256, seed)
+    cfg = config.training
+
+    def build_estimators():
+        return [
+            HTEEstimator(backbone="tarnet", framework="vanilla", config=config, seed=seed + k)
+            for k in range(stack_size)
+        ]
+
+    with dtype_scope(cfg.dtype):
+        train_std = train.standardize()[0]
+        covariates, treatment, outcome = (
+            train_std.covariates,
+            train_std.treatment,
+            train_std.outcome,
+        )
+        trainers = []
+        programs = []
+        for estimator in build_estimators():
+            trainer = estimator.build_trainer(train)
+            trainer._optimizer = Adam(
+                trainer.backbone.parameters(),
+                schedule=ExponentialDecay(cfg.learning_rate, cfg.lr_decay_rate, cfg.lr_decay_steps),
+            )
+            recorder = TapeRecorder()
+            with recorder:
+                loss = trainer._network_forward_backward(covariates, treatment, outcome)
+            trainer._optimizer.step()
+            programs.append(recorder.finalize(loss))
+            trainers.append(trainer)
+        stacked = StackedProgram(programs)
+        optimizer = Adam(
+            stacked.params,
+            schedule=ExponentialDecay(cfg.learning_rate, cfg.lr_decay_rate, cfg.lr_decay_steps),
+        )
+
+        def serial_eager_steps():
+            for trainer in trainers:
+                trainer._network_forward_backward(covariates, treatment, outcome)
+                trainer._optimizer.step()
+
+        def stacked_step():
+            stacked.run()
+            optimizer.step()
+
+        stacked_seconds, eager_seconds = _interleaved_best(
+            stacked_step, serial_eager_steps, repeats
+        )
+
+    # End-to-end: K serial fits vs one stacked fit over the full schedule
+    # (includes the eagerly recorded first iteration and the bookkeeping).
+    serial_estimators = build_estimators()
+    start = time.perf_counter()
+    for estimator in serial_estimators:
+        estimator.fit(train)
+    serial_fit_seconds = time.perf_counter() - start
+    stacked_estimators = build_estimators()
+    start = time.perf_counter()
+    engaged = fit_stacked(stacked_estimators, [train] * stack_size)
+    stacked_fit_seconds = time.perf_counter() - start
+    return {
+        "num_samples": num_samples,
+        "stack_size": stack_size,
+        "backbone": "tarnet",
+        "framework": "vanilla",
+        "eager_seconds_per_model_step": float(eager_seconds / stack_size),
+        "stacked_seconds_per_model_step": float(stacked_seconds / stack_size),
+        "speedup": float(eager_seconds / stacked_seconds),
+        "fit_iterations": cfg.iterations,
+        "serial_fit_seconds": float(serial_fit_seconds),
+        "stacked_fit_seconds": float(stacked_fit_seconds),
+        "fit_speedup": float(serial_fit_seconds / stacked_fit_seconds),
+        "stacked_engaged": bool(engaged),
+    }
+
+
+def _graph_replay_section(num_samples: int, seed: int, smoke: bool) -> Dict[str, object]:
+    """Record-once / replay-many training vs eager graph construction."""
+    step_repeats = 8 if smoke else 3
+    stacked_repeats = 10 if smoke else 30
+    step = _replay_step_comparison(num_samples, step_repeats, seed)
+    stacked = _stacked_replication_comparison(100, 8, stacked_repeats, seed)
+    return {
+        "network_step": step,
+        "stacked_replications": stacked,
+        # Headline replayed-vs-eager training-step ratio: the best of the
+        # single-program replay and the stacked per-seed replay.
+        "replay_speedup": float(max(step["speedup"], stacked["speedup"])),
+    }
+
+
 def _serving_section(num_samples: int, rows_grid, service_rows: int, seed: int) -> Dict[str, object]:
     generator = SyntheticGenerator(SyntheticConfig(seed=seed))
     protocol = generator.generate_train_test_protocol(num_samples=num_samples, seed=seed)
@@ -314,6 +490,7 @@ def benchmark_autodiff(
         },
         "per_op": _per_op_section(per_op_samples, per_op_repeats, seed),
         "training_step": step,
+        "graph_replay": _graph_replay_section(step_samples, seed, smoke),
         "serving": serving,
         "dtype": {
             "float64": {
@@ -385,6 +562,37 @@ def format_autodiff_benchmark(result: Dict[str, object]) -> str:
             )
         ),
     )
+
+    replay = result.get("graph_replay")
+    if replay is not None:
+        step_stats = replay["network_step"]
+        stacked_stats = replay["stacked_replications"]
+        replay_rows = [
+            [
+                f"single ({step_stats['backbone']}/{step_stats['framework']}, "
+                f"n={step_stats['num_samples']})",
+                step_stats["eager_seconds_per_step"] * 1e3,
+                step_stats["replay_seconds_per_step"] * 1e3,
+                step_stats["speedup"],
+            ],
+            [
+                f"stacked K={stacked_stats['stack_size']} "
+                f"({stacked_stats['backbone']}/{stacked_stats['framework']}, "
+                f"n={stacked_stats['num_samples']})",
+                stacked_stats["eager_seconds_per_model_step"] * 1e3,
+                stacked_stats["stacked_seconds_per_model_step"] * 1e3,
+                stacked_stats["speedup"],
+            ],
+        ]
+        text += "\n" + format_table(
+            ["mode", "eager ms/step", "replay ms/step", "speedup"],
+            replay_rows,
+            title=(
+                "Graph replay (TrainingConfig.graph_replay; best replayed "
+                f"step {replay['replay_speedup']:.2f}x vs eager, stacked "
+                f"end-to-end fit {stacked_stats['fit_speedup']:.2f}x)"
+            ),
+        )
 
     serving = result["serving"]
     serve_rows = [

@@ -96,6 +96,31 @@ class MethodResult:
         return self.per_environment[environment][key]
 
 
+def _evaluate_fitted(
+    spec: MethodSpec,
+    estimator: HTEEstimator,
+    test_environments: Mapping[str, CausalDataset],
+    training_seconds: float,
+) -> MethodResult:
+    """Evaluate an already-fitted estimator on every test environment."""
+    if not test_environments:
+        raise ValueError("need at least one test environment")
+    per_environment: Dict[str, Dict[str, float]] = {}
+    reports: List[EnvironmentReport] = []
+    for name, dataset in test_environments.items():
+        metrics = estimator.evaluate(dataset)
+        per_environment[str(name)] = metrics
+        reports.append(EnvironmentReport(environment=str(name), metrics=metrics))
+    stability = aggregate_across_environments(reports)
+    return MethodResult(
+        spec=spec,
+        per_environment=per_environment,
+        stability=stability,
+        training_seconds=training_seconds,
+        history=estimator.training_history().as_dict(),
+    )
+
+
 def run_method(
     spec: MethodSpec,
     train: CausalDataset,
@@ -109,21 +134,7 @@ def run_method(
     start = time.perf_counter()
     estimator.fit(train, validation)
     elapsed = time.perf_counter() - start
-
-    per_environment: Dict[str, Dict[str, float]] = {}
-    reports: List[EnvironmentReport] = []
-    for name, dataset in test_environments.items():
-        metrics = estimator.evaluate(dataset)
-        per_environment[str(name)] = metrics
-        reports.append(EnvironmentReport(environment=str(name), metrics=metrics))
-    stability = aggregate_across_environments(reports)
-    return MethodResult(
-        spec=spec,
-        per_environment=per_environment,
-        stability=stability,
-        training_seconds=elapsed,
-        history=estimator.training_history().as_dict(),
-    )
+    return _evaluate_fitted(spec, estimator, test_environments, elapsed)
 
 
 def resolve_n_jobs(n_jobs: Optional[int]) -> int:
@@ -187,12 +198,57 @@ def spawn_replication_seeds(seed: int, replications: int) -> List[int]:
     return [int(child.generate_state(1)[0]) for child in children]
 
 
+def _run_replications_stacked(
+    specs: Sequence[MethodSpec],
+    protocols: Sequence[Mapping[str, object]],
+) -> List[List[MethodResult]]:
+    """Stacked-replay execution of a replication grid (one spec at a time).
+
+    For each spec the K replications' models are trained together through
+    :func:`repro.core.stacked.fit_stacked` — bitwise identical to the
+    serial fits — and evaluated on their own test environments.  When a
+    spec/protocol combination does not support lockstep replay the spec's
+    replications are fitted serially instead, so the returned results equal
+    ``stacked_replay=False`` in every case.
+    """
+    from ..core.stacked import fit_stacked
+
+    results_by_spec: List[List[MethodResult]] = []
+    for spec in specs:
+        estimators = [spec.build() for _ in protocols]
+        trains = [protocol["train"] for protocol in protocols]
+        stacked = False
+        if all(protocol.get("validation") is None for protocol in protocols):
+            start = time.perf_counter()
+            stacked = fit_stacked(estimators, trains)
+            elapsed = time.perf_counter() - start
+        per_spec: List[MethodResult] = []
+        for estimator, protocol in zip(estimators, protocols):
+            if stacked:
+                training_seconds = elapsed / len(protocols)
+            else:
+                start = time.perf_counter()
+                estimator.fit(protocol["train"], protocol.get("validation"))
+                training_seconds = time.perf_counter() - start
+            per_spec.append(
+                _evaluate_fitted(
+                    spec, estimator, protocol["test_environments"], training_seconds
+                )
+            )
+        results_by_spec.append(per_spec)
+    return [
+        [per_spec[replication] for per_spec in results_by_spec]
+        for replication in range(len(protocols))
+    ]
+
+
 def run_replications(
     specs: Sequence[MethodSpec],
     protocol_builder: Callable[[int, int], Mapping[str, object]],
     replications: int,
     seed: int = 2024,
     n_jobs: int = 1,
+    stacked_replay: bool = False,
 ) -> List[List[MethodResult]]:
     """Run a method grid over several dataset replications, optionally in parallel.
 
@@ -208,6 +264,14 @@ def run_replications(
     Each task ships its replication's datasets to the worker, so a
     replication's arrays are pickled once per spec; for very large
     populations prefer fewer specs per call or serial execution.
+
+    ``stacked_replay=True`` (requires ``n_jobs=1``) trains each spec's K
+    replication models as one stacked kernel program
+    (:mod:`repro.core.stacked`) when the protocols support lockstep replay
+    — full batch, no validation sets, no early stopping, vanilla framework,
+    and structurally identical training graphs across replications.  The
+    results are bitwise identical to the serial path; combinations that
+    cannot be stacked silently fall back to serial fits.
     """
     n_jobs = _resolve_n_jobs(n_jobs)
     seeds = spawn_replication_seeds(seed, replications)
@@ -215,6 +279,13 @@ def run_replications(
         protocol_builder(replication, replication_seed)
         for replication, replication_seed in enumerate(seeds)
     ]
+    if stacked_replay:
+        if n_jobs != 1:
+            raise ValueError(
+                "stacked_replay fuses the replications into one in-process "
+                "program; it requires n_jobs=1"
+            )
+        return _run_replications_stacked(specs, protocols)
     tasks = [
         (spec, protocol["train"], protocol["test_environments"], protocol.get("validation"))
         for protocol in protocols

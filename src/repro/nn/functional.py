@@ -22,7 +22,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from .tensor import ArrayLike, Tensor, _matmul_vjp, as_tensor, get_default_dtype
+from .tensor import ArrayLike, Tensor, _matmul_vjp, _tape_record, as_tensor, get_default_dtype
 
 __all__ = [
     "elu",
@@ -91,7 +91,7 @@ def linear(x: ArrayLike, weight: Tensor, bias: Optional[Tensor] = None) -> Tenso
             out._send(w, grad_w)
 
         out = Tensor._make(out_data, (x_t, w_t), backward)
-        return out
+        return _tape_record(out, "linear", (x_t, w_t))
 
     b_t = as_tensor(bias)
     out_data = (x_t.data @ w_t.data) + b_t.data
@@ -103,7 +103,7 @@ def linear(x: ArrayLike, weight: Tensor, bias: Optional[Tensor] = None) -> Tenso
         out._send(b, grad)
 
     out = Tensor._make(out_data, (x_t, w_t, b_t), backward)
-    return out
+    return _tape_record(out, "linear", (x_t, w_t, b_t))
 
 
 def _pairwise_sq_data(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -136,7 +136,7 @@ def pairwise_sq_dists(a: ArrayLike, b: ArrayLike) -> Tensor:
         out._send(bt, grad_b)
 
     out = Tensor._make(out_data, (a_t, b_t), backward)
-    return out
+    return _tape_record(out, "pairwise_sq_dists", (a_t, b_t))
 
 
 def rbf_kernel(a: ArrayLike, b: ArrayLike, sigma: float = 1.0) -> Tensor:
@@ -160,7 +160,7 @@ def rbf_kernel(a: ArrayLike, b: ArrayLike, sigma: float = 1.0) -> Tensor:
         out._send(bt, grad_b)
 
     out = Tensor._make(out_data, (a_t, b_t), backward)
-    return out
+    return _tape_record(out, "rbf_kernel", (a_t, b_t), {"scale": scale})
 
 
 def bce_with_logits(
@@ -195,7 +195,7 @@ def bce_with_logits(
             out._send(w, scale * losses)
 
     out = Tensor._make(np.asarray(arr.mean(), dtype=arr.dtype), parents, backward)
-    return out
+    return _tape_record(out, "bce_with_logits", parents)
 
 
 # --------------------------------------------------------------------------- #
@@ -215,7 +215,7 @@ def mse_loss(prediction: ArrayLike, target: ArrayLike) -> Tensor:
         out._send(t, -grad_p)
 
     out = Tensor._make(np.asarray(arr.mean(), dtype=arr.dtype), (p_t, t_t), backward)
-    return out
+    return _tape_record(out, "mse_loss", (p_t, t_t))
 
 
 def weighted_mse_loss(prediction: ArrayLike, target: ArrayLike, weights: ArrayLike) -> Tensor:
@@ -239,7 +239,7 @@ def weighted_mse_loss(prediction: ArrayLike, target: ArrayLike, weights: ArrayLi
         out._send(w, scale * (diff * diff))
 
     out = Tensor._make(np.asarray(arr.mean(), dtype=arr.dtype), (p_t, t_t, w_t), backward)
-    return out
+    return _tape_record(out, "weighted_mse_loss", (p_t, t_t, w_t))
 
 
 def _bce_fused(
@@ -276,7 +276,7 @@ def _bce_fused(
 
     parents = (prediction, target) if weights is None else (prediction, target, weights)
     out = Tensor._make(np.asarray(arr.mean(), dtype=arr.dtype), parents, backward)
-    return out
+    return _tape_record(out, "bce", parents, {"eps": eps})
 
 
 def binary_cross_entropy(prediction: ArrayLike, target: ArrayLike, eps: float = 1e-7) -> Tensor:
@@ -303,7 +303,7 @@ def l2_penalty(parameters) -> Tensor:
             out._send(param, (2.0 * grad) * param.data)
 
     out = Tensor._make(np.asarray(total), tuple(params), backward)
-    return out
+    return _tape_record(out, "l2_penalty", tuple(params), {"dtype": total.dtype})
 
 
 def normalize_rows(x: ArrayLike, eps: float = 1e-8) -> Tensor:
@@ -327,7 +327,7 @@ def normalize_rows(x: ArrayLike, eps: float = 1e-8) -> Tensor:
         out._send(xt, grad / norms + (2.0 * grad_sq) * data)
 
     out = Tensor._make(out_data, (x_t,), backward)
-    return out
+    return _tape_record(out, "normalize_rows", (x_t,), {"eps": eps})
 
 
 # --------------------------------------------------------------------------- #
@@ -355,7 +355,9 @@ def rff_features(values: ArrayLike, frequencies: np.ndarray, phases: np.ndarray)
         out._send(vt, (d_inner * freqs).sum(axis=1).reshape(vt.data.shape))
 
     out = Tensor._make(out_data, (v_t,), backward)
-    return out
+    return _tape_record(
+        out, "rff_features", (v_t,), {"frequencies": freqs, "phis": phis, "sqrt2": sqrt2}
+    )
 
 
 def weighted_sq_cross_cov(u: ArrayLike, v: ArrayLike, probs: ArrayLike) -> Tensor:
@@ -409,7 +411,7 @@ def weighted_sq_cross_cov(u: ArrayLike, v: ArrayLike, probs: ArrayLike) -> Tenso
         out._send(pt, d_p.reshape(pt.data.shape))
 
     out = Tensor._make(np.asarray(value), (u_t, v_t, p_t), backward)
-    return out
+    return _tape_record(out, "weighted_sq_cross_cov", (u_t, v_t, p_t))
 
 
 def bilinear_weighted_sum(
@@ -434,4 +436,4 @@ def bilinear_weighted_sum(
         out._send(bt, (grad * weighted.sum(axis=0)).reshape(bt.data.shape))
 
     out = Tensor._make(np.asarray(value), (a_t, k_t, b_t), backward)
-    return out
+    return _tape_record(out, "bilinear_weighted_sum", (a_t, k_t, b_t))

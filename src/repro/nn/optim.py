@@ -78,22 +78,32 @@ class SGD(Optimizer):
             raise ValueError("momentum must be in [0, 1)")
         self.momentum = momentum
         self._velocity: Dict[int, np.ndarray] = {}
+        self._scratch: Dict[int, np.ndarray] = {}
 
     def step(self) -> None:
         lr = self.current_lr
         for param in self.parameters:
             if param.grad is None:
                 continue
+            # In-place update sequences: no per-step allocations beyond the
+            # lazily-created persistent state/scratch buffers, and the
+            # parameter buffer keeps its identity (graph replay pins it).
+            # Never write into param.grad — replay owns that buffer.
             if self.momentum > 0:
                 velocity = self._velocity.get(id(param))
                 if velocity is None:
-                    velocity = np.zeros_like(param.data)
-                velocity = self.momentum * velocity + param.grad
-                self._velocity[id(param)] = velocity
+                    velocity = self._velocity[id(param)] = np.zeros_like(param.data)
+                np.multiply(velocity, self.momentum, out=velocity)
+                np.add(velocity, param.grad, out=velocity)
                 update = velocity
             else:
                 update = param.grad
-            param.data = param.data - lr * update
+            scratch = self._scratch.get(id(param))
+            if scratch is None:
+                scratch = self._scratch[id(param)] = np.empty_like(param.data)
+            np.multiply(update, lr, out=scratch)
+            np.subtract(param.data, scratch, out=param.data)
+            param._version = getattr(param, "_version", 0) + 1
         self.step_count += 1
 
 
@@ -119,11 +129,13 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
         self._m: Dict[int, np.ndarray] = {}
         self._v: Dict[int, np.ndarray] = {}
+        self._scratch: Dict[int, tuple] = {}
 
     def step(self) -> None:
         lr = self.current_lr
         self.step_count += 1
         t = self.step_count
+        beta1, beta2 = self.beta1, self.beta2
         for param in self.parameters:
             if param.grad is None:
                 continue
@@ -133,12 +145,31 @@ class Adam(Optimizer):
             m = self._m.get(id(param))
             v = self._v.get(id(param))
             if m is None:
-                m = np.zeros_like(param.data)
-                v = np.zeros_like(param.data)
-            m = self.beta1 * m + (1 - self.beta1) * grad
-            v = self.beta2 * v + (1 - self.beta2) * grad * grad
-            self._m[id(param)] = m
-            self._v[id(param)] = v
-            m_hat = m / (1 - self.beta1 ** t)
-            v_hat = v / (1 - self.beta2 ** t)
-            param.data = param.data - lr * m_hat / (np.sqrt(v_hat) + self.eps)
+                m = self._m[id(param)] = np.zeros_like(param.data)
+                v = self._v[id(param)] = np.zeros_like(param.data)
+            scratch = self._scratch.get(id(param))
+            if scratch is None:
+                scratch = self._scratch[id(param)] = (
+                    np.empty_like(param.data),
+                    np.empty_like(param.data),
+                )
+            s1, s2 = scratch
+            # In-place ufunc sequences, elementwise-bitwise equal to the
+            # historical allocating expressions (scalar multiplies commute
+            # in IEEE arithmetic).  Never writes into param.grad, and the
+            # parameter buffer keeps its identity (graph replay pins it).
+            np.multiply(m, beta1, out=m)
+            np.multiply(grad, 1 - beta1, out=s1)
+            np.add(m, s1, out=m)
+            np.multiply(v, beta2, out=v)
+            np.multiply(grad, 1 - beta2, out=s2)
+            np.multiply(s2, grad, out=s2)
+            np.add(v, s2, out=v)
+            np.divide(m, 1 - beta1 ** t, out=s1)
+            np.divide(v, 1 - beta2 ** t, out=s2)
+            np.multiply(s1, lr, out=s1)
+            np.sqrt(s2, out=s2)
+            np.add(s2, self.eps, out=s2)
+            np.divide(s1, s2, out=s1)
+            np.subtract(param.data, s1, out=param.data)
+            param._version = getattr(param, "_version", 0) + 1

@@ -34,6 +34,7 @@ Gradients are validated against central finite differences in
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -207,6 +208,33 @@ def _released_backward(grad: np.ndarray) -> None:
     )
 
 
+# --------------------------------------------------------------------------- #
+# Graph-replay record hook (see repro.nn.tape)
+# --------------------------------------------------------------------------- #
+class _TapeHookLocal(threading.local):
+    """Thread-local registration point for the graph-replay recorder.
+
+    Thread-local so a recording on one thread neither captures ops from, nor
+    is polluted by, concurrent fits running on other threads.  ``recorder``
+    is ``None`` whenever no recording is active, making the per-op overhead
+    a single attribute read.
+    """
+
+    def __init__(self) -> None:
+        self.recorder = None
+
+
+_TAPE = _TapeHookLocal()
+
+
+def _tape_record(out: "Tensor", op: str, parents: Tuple["Tensor", ...], attrs=None) -> "Tensor":
+    """Notify an active tape recorder that ``op`` produced ``out``."""
+    rec = _TAPE.recorder
+    if rec is not None:
+        rec.record(out, op, parents, attrs)
+    return out
+
+
 class Tensor:
     """A NumPy-backed tensor participating in reverse-mode autodiff.
 
@@ -222,8 +250,11 @@ class Tensor:
     """
 
     # __weakref__ keeps tensors weak-referenceable so graph-release tests
-    # (and memory tooling) can observe node lifetime directly.
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name", "_route", "__weakref__")
+    # (and memory tooling) can observe node lifetime directly.  ``_version``
+    # is bumped by in-place parameter updates (repro.nn.optim) so callers
+    # that key caches by buffer identity can detect mutation; it is left
+    # unset until the first in-place write to keep construction cheap.
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name", "_route", "_version", "__weakref__")
 
     def __init__(
         self,
@@ -324,6 +355,9 @@ class Tensor:
         """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not require grad")
+        rec = _TAPE.recorder
+        if rec is not None:
+            rec.on_backward(self, retain_graph)
         seed_owned = False
         if grad is None:
             if self.data.size != 1:
@@ -423,7 +457,7 @@ class Tensor:
             out._send(oth, grad)
 
         out = Tensor._make(out_data, (self, other_t), backward)
-        return out
+        return _tape_record(out, "add", (self, other_t))
 
     __radd__ = __add__
 
@@ -432,7 +466,7 @@ class Tensor:
             out._send(self, -grad)
 
         out = Tensor._make(-self.data, (self,), backward)
-        return out
+        return _tape_record(out, "neg", (self,))
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         return self + (-as_tensor(other))
@@ -449,7 +483,7 @@ class Tensor:
             out._send(oth, grad * self_t.data)
 
         out = Tensor._make(out_data, (self, other_t), backward)
-        return out
+        return _tape_record(out, "mul", (self, other_t))
 
     __rmul__ = __mul__
 
@@ -462,7 +496,7 @@ class Tensor:
             out._send(oth, -grad * self_t.data / (oth.data ** 2))
 
         out = Tensor._make(out_data, (self, other_t), backward)
-        return out
+        return _tape_record(out, "div", (self, other_t))
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return as_tensor(other) / self
@@ -485,7 +519,7 @@ class Tensor:
             out._send(self_t, grad * local)
 
         out = Tensor._make(out_data, (self,), backward)
-        return out
+        return _tape_record(out, "pow", (self,), {"exponent": float(exponent)})
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         return self.matmul(other)
@@ -501,7 +535,7 @@ class Tensor:
             out._send(b, grad_b)
 
         out = Tensor._make(out_data, (self, other_t), backward)
-        return out
+        return _tape_record(out, "matmul", (self, other_t))
 
     # ------------------------------------------------------------------ #
     # Reductions
@@ -519,7 +553,7 @@ class Tensor:
             out._send(self_t, expanded)
 
         out = Tensor._make(out_data, (self,), backward)
-        return out
+        return _tape_record(out, "sum", (self,), {"axis": axis, "keepdims": keepdims})
 
     def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -544,7 +578,7 @@ class Tensor:
             out._send(self_t, grad * out.data)
 
         out = Tensor._make(out_data, (self,), backward)
-        return out
+        return _tape_record(out, "exp", (self,))
 
     def log(self) -> "Tensor":
         out_data = np.log(self.data)
@@ -553,7 +587,7 @@ class Tensor:
             out._send(self_t, grad / self_t.data)
 
         out = Tensor._make(out_data, (self,), backward)
-        return out
+        return _tape_record(out, "log", (self,))
 
     def sqrt(self) -> "Tensor":
         out_data = np.sqrt(self.data)
@@ -562,7 +596,7 @@ class Tensor:
             out._send(self_t, grad * 0.5 / np.maximum(out.data, 1e-12))
 
         out = Tensor._make(out_data, (self,), backward)
-        return out
+        return _tape_record(out, "sqrt", (self,))
 
     def abs(self) -> "Tensor":
         out_data = np.abs(self.data)
@@ -571,7 +605,7 @@ class Tensor:
             out._send(self_t, grad * np.sign(self_t.data))
 
         out = Tensor._make(out_data, (self,), backward)
-        return out
+        return _tape_record(out, "abs", (self,))
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
@@ -580,7 +614,7 @@ class Tensor:
             out._send(self_t, grad * (1.0 - out.data ** 2))
 
         out = Tensor._make(out_data, (self,), backward)
-        return out
+        return _tape_record(out, "tanh", (self,))
 
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
@@ -589,7 +623,7 @@ class Tensor:
             out._send(self_t, grad * out.data * (1.0 - out.data))
 
         out = Tensor._make(out_data, (self,), backward)
-        return out
+        return _tape_record(out, "sigmoid", (self,))
 
     def relu(self) -> "Tensor":
         out_data = np.maximum(self.data, 0.0)
@@ -598,7 +632,7 @@ class Tensor:
             out._send(self_t, grad * (self_t.data > 0.0))
 
         out = Tensor._make(out_data, (self,), backward)
-        return out
+        return _tape_record(out, "relu", (self,))
 
     def elu(self, alpha: float = 1.0) -> "Tensor":
         positive = self.data > 0.0
@@ -609,7 +643,7 @@ class Tensor:
             out._send(self_t, grad * local)
 
         out = Tensor._make(out_data, (self,), backward)
-        return out
+        return _tape_record(out, "elu", (self,), {"alpha": float(alpha)})
 
     def softplus(self) -> "Tensor":
         out_data = np.logaddexp(0.0, self.data)
@@ -619,7 +653,7 @@ class Tensor:
             out._send(self_t, grad * sig)
 
         out = Tensor._make(out_data, (self,), backward)
-        return out
+        return _tape_record(out, "softplus", (self,))
 
     def cos(self) -> "Tensor":
         out_data = np.cos(self.data)
@@ -628,7 +662,7 @@ class Tensor:
             out._send(self_t, -grad * np.sin(self_t.data))
 
         out = Tensor._make(out_data, (self,), backward)
-        return out
+        return _tape_record(out, "cos", (self,))
 
     def sin(self) -> "Tensor":
         out_data = np.sin(self.data)
@@ -637,7 +671,7 @@ class Tensor:
             out._send(self_t, grad * np.cos(self_t.data))
 
         out = Tensor._make(out_data, (self,), backward)
-        return out
+        return _tape_record(out, "sin", (self,))
 
     def clip(self, low: float, high: float) -> "Tensor":
         out_data = np.clip(self.data, low, high)
@@ -647,7 +681,7 @@ class Tensor:
             out._send(self_t, grad * mask)
 
         out = Tensor._make(out_data, (self,), backward)
-        return out
+        return _tape_record(out, "clip", (self,), {"low": low, "high": high})
 
     def maximum(self, other: ArrayLike) -> "Tensor":
         other_t = as_tensor(other)
@@ -659,7 +693,7 @@ class Tensor:
             out._send(b, grad * (~mask))
 
         out = Tensor._make(out_data, (self, other_t), backward)
-        return out
+        return _tape_record(out, "maximum", (self, other_t))
 
     # ------------------------------------------------------------------ #
     # Shape manipulation
@@ -673,7 +707,7 @@ class Tensor:
             out._send(self_t, grad.reshape(self_t.data.shape))
 
         out = Tensor._make(out_data, (self,), backward)
-        return out
+        return _tape_record(out, "reshape", (self,))
 
     def transpose(self, axes: Optional[Tuple[int, ...]] = None) -> "Tensor":
         out_data = self.data.transpose(axes)
@@ -686,7 +720,7 @@ class Tensor:
                 out._send(self_t, grad.transpose(inverse))
 
         out = Tensor._make(out_data, (self,), backward)
-        return out
+        return _tape_record(out, "transpose", (self,), {"axes": axes})
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
@@ -697,7 +731,7 @@ class Tensor:
             out._send(self_t, full)
 
         out = Tensor._make(out_data, (self,), backward)
-        return out
+        return _tape_record(out, "getitem", (self,), {"index": index})
 
 
 def _matmul_vjp(
@@ -743,7 +777,7 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
             out._send(tensor, grad[tuple(slicer)])
 
     out = Tensor._make(out_data, tuple(tensors), backward)
-    return out
+    return _tape_record(out, "concatenate", tuple(tensors), {"axis": axis})
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -757,4 +791,4 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
             out._send(tensor, piece)
 
     out = Tensor._make(out_data, tuple(tensors), backward)
-    return out
+    return _tape_record(out, "stack", tuple(tensors), {"axis": axis})

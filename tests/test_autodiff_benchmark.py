@@ -58,6 +58,26 @@ def test_serving_section_reports_compiled_speedup(smoke_result):
         assert stats["speedup"] > 0.5
 
 
+def test_graph_replay_section(smoke_result):
+    replay = smoke_result["graph_replay"]
+    step = replay["network_step"]
+    assert step["eager_seconds_per_step"] > 0
+    assert step["replay_seconds_per_step"] > 0
+    # Replaying must never build a graph: zero tensors per replayed step.
+    assert step["tensor_allocs_per_replay"] == 0
+    assert step["graph_nodes"] > 0
+    stacked = replay["stacked_replications"]
+    assert stacked["stacked_engaged"] is True
+    assert stacked["stack_size"] >= 2
+    assert stacked["eager_seconds_per_model_step"] > 0
+    assert stacked["stacked_seconds_per_model_step"] > 0
+    assert stacked["serial_fit_seconds"] > 0
+    assert stacked["stacked_fit_seconds"] > 0
+    assert replay["replay_speedup"] == pytest.approx(
+        max(step["speedup"], stacked["speedup"])
+    )
+
+
 def test_dtype_section_present(smoke_result):
     dtype = smoke_result["dtype"]
     assert dtype["float64"]["seconds_per_iteration"] > 0
@@ -89,3 +109,6 @@ def test_committed_record_matches_schema():
     # The acceptance targets of the overhaul, pinned on the committed record.
     assert record["training_step"]["speedup_vs_pr2"] >= 2.0
     assert record["serving"]["service_latency_reduction_vs_pr2"] >= 3.0
+    # Graph-replay acceptance: the best replayed step (single-program or
+    # stacked multi-seed) beats its eager equivalent by >= 1.5x.
+    assert record["graph_replay"]["replay_speedup"] >= 1.5

@@ -1,0 +1,376 @@
+"""Graph-replay (tape-reuse) engine tests.
+
+Covers the contract of ``TrainingConfig.graph_replay``:
+
+* replayed training is *bit-identical* to eager training — full-batch and
+  minibatch — on the seed-11 golden protocol;
+* the tape invalidates (re-records) on shape, dtype and config changes and
+  survives parameter-buffer replacement via re-recording;
+* unsupported ops abort recording and fall back to eager, once, loudly;
+* ``retain_graph`` / double-``backward()`` inside a recorded step raise
+  :class:`GraphReplayError` naming ``graph_replay``;
+* the in-place optimisers allocate zero tensors per step and keep parameter
+  buffer identity (the property replay pins);
+* stacked multi-seed replay (``repro.core.stacked`` and
+  ``run_replications(stacked_replay=True)``) equals serial fits exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+
+import numpy as np
+import pytest
+
+from repro.core.config import BackboneConfig, RegularizerConfig, SBRLConfig, TrainingConfig
+from repro.core.estimator import HTEEstimator
+from repro.core.loop import Callback
+from repro.core.stacked import fit_stacked
+from repro.data.synthetic import SyntheticConfig, SyntheticGenerator
+from repro.experiments.runner import MethodSpec, run_replications
+from repro.nn.optim import SGD, Adam
+from repro.nn.tape import GraphReplayError, TapeRecorder
+from repro.nn.tensor import Tensor, dtype_scope, tensor_alloc_count
+
+
+def _config(batch_size=None, iterations=12, graph_replay="auto", **overrides):
+    training = dict(
+        iterations=iterations,
+        learning_rate=1e-2,
+        weight_update_every=5,
+        weight_steps_per_iteration=1,
+        evaluation_interval=5,
+        early_stopping_patience=None,
+        seed=0,
+        batch_size=batch_size,
+        graph_replay=graph_replay,
+    )
+    training.update(overrides)
+    return SBRLConfig(
+        backbone=BackboneConfig(rep_layers=2, rep_units=12, head_layers=2, head_units=8),
+        regularizers=RegularizerConfig(
+            alpha=1e-2,
+            gamma1=1.0,
+            gamma2=1e-2,
+            gamma3=1e-2,
+            max_pairs_per_layer=6,
+            subsample_threshold=64,
+            num_anchors=32,
+        ),
+        training=TrainingConfig(**training),
+    )
+
+
+@pytest.fixture(scope="module")
+def protocol():
+    generator = SyntheticGenerator(
+        SyntheticConfig(
+            num_instruments=4, num_confounders=4, num_adjustments=4, num_unstable=2, seed=11
+        )
+    )
+    return generator.generate_train_test_protocol(
+        num_samples=240, train_rho=2.5, test_rhos=(2.5, -2.5), seed=11
+    )
+
+
+def _fit(protocol, config, backbone="cfr", framework="sbrl-hap", seed=11):
+    estimator = HTEEstimator(backbone=backbone, framework=framework, config=config, seed=seed)
+    estimator.fit(protocol["train"])
+    return estimator
+
+
+class TestReplayBitIdentity:
+    @pytest.mark.parametrize("batch_size", [None, 64], ids=["full-batch", "minibatch"])
+    def test_replay_equals_eager_on_golden_protocol(self, protocol, batch_size):
+        """graph_replay='auto' and 'off' give byte-identical end metrics."""
+        replayed = _fit(protocol, _config(batch_size, graph_replay="auto"))
+        eager = _fit(protocol, _config(batch_size, graph_replay="off"))
+        assert eager.trainer._replay is None
+        stats = replayed.trainer._replay.stats
+        if batch_size is None:
+            assert stats["hits"] > 0, stats
+        for rho, dataset in protocol["test_environments"].items():
+            assert replayed.evaluate(dataset) == eager.evaluate(dataset), f"rho={rho}"
+        history_replayed = replayed.training_history().as_dict()
+        history_eager = eager.training_history().as_dict()
+        assert history_replayed["network_loss"] == history_eager["network_loss"]
+        assert history_replayed["validation_loss"] == history_eager["validation_loss"]
+
+    def test_minibatch_thrash_guard_disables_replay(self, protocol):
+        estimator = _fit(protocol, _config(batch_size=64))
+        replay = estimator.trainer._replay
+        assert replay.enabled is False
+        assert replay.stats["fallbacks"] == 1
+        assert replay.stats["hits"] == 0
+
+    def test_iteration_records_surface_replay_state(self, protocol):
+        """Callbacks see replay_hit / graph_nodes / tensor_allocs per iteration."""
+        records = []
+
+        class Collect(Callback):
+            def on_iteration_end(self, loop, record):
+                records.append(record)
+
+        estimator = HTEEstimator(
+            backbone="tarnet", framework="vanilla", config=_config(), seed=11
+        )
+        estimator.build_trainer(protocol["train"]).fit(
+            protocol["train"], callbacks=[Collect()]
+        )
+        assert records[0].replay_hit is False  # the recording step
+        replayed = [record for record in records if record.replay_hit]
+        assert replayed, "no replayed iterations in a full-batch fit"
+        for record in replayed:
+            assert isinstance(record.graph_nodes, int) and record.graph_nodes > 0
+            # Replayed vanilla full-batch iterations build no graph at all.
+            assert record.tensor_allocs == 0
+
+
+class TestInvalidation:
+    def _step_arrays(self, protocol):
+        train_std = protocol["train"].standardize()[0]
+        return train_std.covariates, train_std.treatment, train_std.outcome
+
+    def test_shape_change_re_records(self, protocol):
+        estimator = _fit(protocol, _config(), backbone="tarnet", framework="vanilla")
+        trainer = estimator.trainer
+        covariates, treatment, outcome = self._step_arrays(protocol)
+        with dtype_scope("float64"):
+            trainer._network_step(covariates, treatment, outcome, None)
+            records = trainer._replay.stats["records"]
+            trainer._network_step(covariates, treatment, outcome, None)
+            assert trainer._replay.stats["records"] == records  # hit
+            trainer._network_step(covariates[:100], treatment[:100], outcome[:100], None)
+            assert trainer._replay.stats["records"] == records + 1
+
+    def test_dtype_change_re_records(self, protocol):
+        estimator = _fit(protocol, _config(), backbone="tarnet", framework="vanilla")
+        trainer = estimator.trainer
+        covariates, treatment, outcome = self._step_arrays(protocol)
+        with dtype_scope("float64"):
+            trainer._network_step(covariates, treatment, outcome, None)
+            records = trainer._replay.stats["records"]
+            trainer._network_step(
+                covariates.astype(np.float32), treatment, outcome, None
+            )
+            assert trainer._replay.stats["records"] == records + 1
+
+    def test_config_change_re_records(self, protocol):
+        estimator = _fit(protocol, _config())
+        trainer = estimator.trainer
+        covariates, treatment, outcome = self._step_arrays(protocol)
+        with dtype_scope("float64"):
+            trainer._network_step(covariates, treatment, outcome, None)
+            records = trainer._replay.stats["records"]
+            trainer._network_step(covariates, treatment, outcome, None)
+            assert trainer._replay.stats["records"] == records
+            trainer.config.regularizers.alpha *= 2.0  # enters the signature
+            trainer._network_step(covariates, treatment, outcome, None)
+            assert trainer._replay.stats["records"] == records + 1
+
+    def test_parameter_buffer_replacement_invalidates(self, protocol):
+        estimator = _fit(protocol, _config(), backbone="tarnet", framework="vanilla")
+        trainer = estimator.trainer
+        covariates, treatment, outcome = self._step_arrays(protocol)
+        with dtype_scope("float64"):
+            trainer._network_step(covariates, treatment, outcome, None)
+            invalidations = trainer._replay.stats["invalidations"]
+            # load_state_dict assigns fresh buffers: the pinned program is stale.
+            trainer.backbone.load_state_dict(trainer.backbone.state_dict())
+            trainer._network_step(covariates, treatment, outcome, None)
+            assert trainer._replay.stats["invalidations"] == invalidations + 1
+            # ... and the re-recorded program replays again.
+            trainer._network_step(covariates, treatment, outcome, None)
+            assert trainer.last_step_stats["replay_hit"] is True
+
+
+class TestEagerFallback:
+    def test_unregistered_op_falls_back_with_one_warning(self, protocol, caplog, monkeypatch):
+        """An op without a tape kernel aborts recording; training stays eager."""
+        from repro.nn import tape as tape_module
+
+        monkeypatch.delitem(tape_module._FORWARD, "elu")
+        with caplog.at_level(logging.WARNING, logger="repro.core.replay"):
+            fallback = _fit(protocol, _config(), backbone="tarnet", framework="vanilla")
+        replay = fallback.trainer._replay
+        assert replay.enabled is False
+        assert replay.stats["fallbacks"] == 1
+        assert replay.stats["hits"] == 0
+        warnings = [r for r in caplog.records if "falling back to eager" in r.getMessage()]
+        assert len(warnings) == 1
+        assert "has no replay kernel" in warnings[0].getMessage()
+        monkeypatch.undo()
+        eager = _fit(
+            protocol, _config(graph_replay="off"), backbone="tarnet", framework="vanilla"
+        )
+        for dataset in protocol["test_environments"].values():
+            assert fallback.evaluate(dataset) == eager.evaluate(dataset)
+
+
+class TestGraphReplayErrors:
+    def test_retain_graph_raises_during_recording(self):
+        with TapeRecorder():
+            x = Tensor(np.ones(3), requires_grad=True)
+            loss = (x * x).sum()
+            with pytest.raises(GraphReplayError, match="graph_replay"):
+                loss.backward(retain_graph=True)
+
+    def test_double_backward_raises_during_recording(self):
+        with TapeRecorder():
+            x = Tensor(np.ones(3), requires_grad=True)
+            loss = (x * x).sum()
+            loss.backward()
+            with pytest.raises(GraphReplayError, match="graph_replay"):
+                loss.backward()
+
+    def test_eager_semantics_unchanged_outside_recording(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        loss = (x * x).sum()
+        loss.backward(retain_graph=True)
+        loss.backward()  # legal eagerly: grads accumulate
+        assert np.array_equal(x.grad, 4.0 * np.ones(3))
+
+
+class TestInPlaceOptimizers:
+    def _param(self):
+        param = Tensor(np.ones(6), requires_grad=True)
+        param.grad = np.full(6, 0.25)
+        return param
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda p: Adam([p], lr=1e-3),
+            lambda p: SGD([p], lr=1e-3),
+            lambda p: SGD([p], lr=1e-3, momentum=0.9),
+        ],
+        ids=["adam", "sgd", "sgd-momentum"],
+    )
+    def test_steps_allocate_no_tensors_and_keep_buffer_identity(self, make):
+        param = self._param()
+        buffer = param.data
+        optimizer = make(param)
+        optimizer.step()  # lazily creates the state/scratch buffers
+        version = param._version
+        before = tensor_alloc_count()
+        for _ in range(5):
+            optimizer.step()
+        assert tensor_alloc_count() - before == 0
+        assert param.data is buffer  # replay pins this identity
+        assert param._version == version + 5  # compiled-inference cache key
+
+
+def _stacked_config(iterations=7, **overrides):
+    """Stackable config: the pair subsampler must not draw per-step anchors
+    (dynamic inputs cannot be fused), so its threshold exceeds the sample
+    count used by these tests."""
+    config = _config(iterations=iterations, **overrides)
+    return dataclasses.replace(
+        config, regularizers=dataclasses.replace(config.regularizers, subsample_threshold=256)
+    )
+
+
+class TestStackedReplay:
+    def _protocol(self, seed=5, n=120):
+        generator = SyntheticGenerator(SyntheticConfig(seed=seed))
+        return generator.generate_train_test_protocol(
+            num_samples=n, train_rho=2.5, test_rhos=(2.5,), seed=seed
+        )
+
+    @pytest.mark.parametrize("backbone", ["tarnet", "cfr"])
+    def test_fit_stacked_equals_serial_fits(self, backbone):
+        protocol = self._protocol()
+        train = protocol["train"]
+        seeds = [11, 12, 13]
+
+        def build(seed):
+            return HTEEstimator(
+                backbone=backbone, framework="vanilla", config=_stacked_config(), seed=seed
+            )
+
+        stacked = [build(seed) for seed in seeds]
+        assert fit_stacked(stacked, [train] * len(seeds)) is True
+        serial = [build(seed) for seed in seeds]
+        for estimator in serial:
+            estimator.fit(train)
+        for slice_index, (a, b) in enumerate(zip(stacked, serial)):
+            state_a = a.trainer.backbone.state_dict()
+            state_b = b.trainer.backbone.state_dict()
+            for name in state_b:
+                assert np.array_equal(state_a[name], state_b[name]), (
+                    f"{backbone} slice {slice_index} parameter {name} differs"
+                )
+            history_a = a.training_history()
+            history_b = b.training_history()
+            assert history_a.as_dict()["network_loss"] == history_b.as_dict()["network_loss"]
+            assert history_a.best_iteration == history_b.best_iteration
+            dataset = protocol["test_environments"][2.5]
+            assert a.evaluate(dataset) == b.evaluate(dataset)
+
+    def test_fit_stacked_declines_unsupported_configs(self):
+        protocol = self._protocol()
+        train = protocol["train"]
+
+        def build(framework="vanilla", **overrides):
+            return HTEEstimator(
+                backbone="tarnet",
+                framework=framework,
+                config=_config(iterations=4, **overrides),
+                seed=11,
+            )
+
+        # fewer than two models
+        assert fit_stacked([build()], [train]) is False
+        # sample-weight framework
+        assert fit_stacked([build("sbrl-hap"), build("sbrl-hap")], [train, train]) is False
+        # minibatch mode
+        pair = [build(batch_size=32), build(batch_size=32)]
+        assert fit_stacked(pair, [train, train]) is False
+        # early stopping
+        pair = [build(early_stopping_patience=5), build(early_stopping_patience=5)]
+        assert fit_stacked(pair, [train, train]) is False
+        # declined estimators are untouched and still fit serially
+        estimator = build()
+        assert fit_stacked([estimator], [train]) is False
+        estimator.fit(train)
+        assert estimator.is_fitted
+
+    def test_run_replications_stacked_parity_fixed_protocol(self):
+        """Same-data replications stack; results equal the serial path."""
+        fixed = self._protocol()
+        specs = [
+            MethodSpec(backbone="tarnet", framework="vanilla", config=_stacked_config(iterations=5), use_balance=False),
+            MethodSpec(backbone="cfr", framework="vanilla", config=_stacked_config(iterations=5)),
+        ]
+        stacked = run_replications(
+            specs, lambda r, s: fixed, replications=3, seed=9, stacked_replay=True
+        )
+        serial = run_replications(
+            specs, lambda r, s: fixed, replications=3, seed=9, stacked_replay=False
+        )
+        assert len(stacked) == 3 and all(len(row) == len(specs) for row in stacked)
+        for row_stacked, row_serial in zip(stacked, serial):
+            for a, b in zip(row_stacked, row_serial):
+                assert a.per_environment == b.per_environment
+                assert a.history["network_loss"] == b.history["network_loss"]
+
+    def test_run_replications_stacked_falls_back_on_varying_data(self):
+        """Different treatment patterns cannot stack; results still equal serial."""
+
+        def builder(replication, seed):
+            return self._protocol(seed=seed % 1000, n=120)
+
+        specs = [MethodSpec(backbone="cfr", framework="vanilla", config=_config(iterations=4))]
+        stacked = run_replications(specs, builder, replications=2, seed=9, stacked_replay=True)
+        serial = run_replications(specs, builder, replications=2, seed=9, stacked_replay=False)
+        for row_stacked, row_serial in zip(stacked, serial):
+            for a, b in zip(row_stacked, row_serial):
+                assert a.per_environment == b.per_environment
+
+    def test_run_replications_stacked_rejects_parallel_jobs(self):
+        specs = [MethodSpec(backbone="tarnet", framework="vanilla", config=_config(iterations=4))]
+        with pytest.raises(ValueError, match="n_jobs"):
+            run_replications(
+                specs, lambda r, s: self._protocol(), replications=2, n_jobs=2, stacked_replay=True
+            )
