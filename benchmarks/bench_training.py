@@ -52,6 +52,11 @@ def check_regression(result: dict, baseline_path: str) -> int:
                 lambda record: record["minibatch"]["minibatch"]["seconds"],
                 "minibatch_seconds",
             ),
+            (
+                "optimizer comparison seconds",
+                lambda record: record["optimizer_comparison"]["seconds"],
+                "optimizer_comparison_seconds",
+            ),
         ),
     )
 

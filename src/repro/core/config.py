@@ -127,6 +127,31 @@ class TrainingConfig:
     #: change and falling back to eager (with a one-time warning) for ops
     #: without a replay kernel.  ``"off"`` always executes eagerly.
     graph_replay: str = "auto"
+    #: Network optimiser, resolved through :data:`repro.registry.optimizers`
+    #: (``"adam"``, ``"adamw"``, ``"rmsprop"``, ``"sgd"``).  All registered
+    #: optimisers update strictly in place and are graph-replay compatible.
+    optimizer: str = "adam"
+    #: Extra keyword arguments for the optimiser class (e.g.
+    #: ``{"weight_decay": 1e-4}`` for Adam/AdamW, ``{"momentum": 0.9}`` for
+    #: SGD).  ``lr`` / ``schedule`` are supplied by the training loop and
+    #: may not appear here.
+    optimizer_params: Dict[str, Any] = field(default_factory=dict)
+    #: Learning-rate schedule, resolved through
+    #: :data:`repro.registry.schedules` (``"constant"``, ``"exponential"``,
+    #: ``"step"``, ``"cosine"``).  The historical default — exponential decay
+    #: parameterised by ``lr_decay_rate`` / ``lr_decay_steps`` — is preserved.
+    lr_schedule: str = "exponential"
+    #: Extra keyword arguments for the schedule class, overriding the
+    #: defaults derived from ``learning_rate`` / ``lr_decay_rate`` /
+    #: ``lr_decay_steps`` / ``iterations``.
+    lr_schedule_params: Dict[str, Any] = field(default_factory=dict)
+    #: When positive, wrap the schedule in a linear warmup over this many
+    #: initial steps (ramp reaches the wrapped schedule exactly at the end).
+    lr_warmup_steps: int = 0
+    #: When set (in ``(0, 1)``), maintain an exponential moving average of
+    #: the network parameters during training and use it as the eval /
+    #: serving snapshot (``EMACallback``); ``None`` disables EMA.
+    ema_decay: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.iterations <= 0:
@@ -143,6 +168,23 @@ class TrainingConfig:
             raise ValueError("dtype must be 'float32' or 'float64'")
         if self.graph_replay not in ("off", "auto"):
             raise ValueError("graph_replay must be 'off' or 'auto'")
+        # Resolve optimiser/schedule names eagerly so typos fail at config
+        # construction with the registry's did-you-mean message, not deep
+        # inside a fit.  Importing repro.nn.optim populates both registries.
+        from ..nn import optim as _optim  # local import: keeps config lightweight
+
+        _optim.OPTIMIZER_REGISTRY.resolve(self.optimizer)
+        _optim.SCHEDULE_REGISTRY.resolve(self.lr_schedule)
+        for forbidden in ("lr", "schedule", "learning_rate", "parameters"):
+            if forbidden in self.optimizer_params:
+                raise ValueError(
+                    f"optimizer_params may not set {forbidden!r}; use the "
+                    "learning_rate / lr_schedule fields instead"
+                )
+        if self.lr_warmup_steps < 0:
+            raise ValueError("lr_warmup_steps must be non-negative")
+        if self.ema_decay is not None and not 0.0 < self.ema_decay < 1.0:
+            raise ValueError("ema_decay must be in (0, 1) or None")
 
 
 @dataclass

@@ -259,6 +259,17 @@ class HTEEstimator:
         """
         return self._require_fitted().backbone.parameter_dtype()
 
+    @property
+    def weights_kind(self) -> str:
+        """Which weights the fitted backbone holds: ``"live"`` or ``"ema"``.
+
+        ``"ema"`` means :class:`~repro.core.loop.EMACallback` was active
+        (``TrainingConfig.ema_decay`` set) and the backbone serves the best
+        exponential-moving-average snapshot; persisted artifacts record this
+        in their manifest.
+        """
+        return getattr(self._require_fitted(), "weights_kind", "live")
+
     # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #

@@ -18,7 +18,7 @@ through the batch's index array.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -36,6 +36,7 @@ __all__ = [
     "VerboseLogger",
     "BestStateCheckpoint",
     "EarlyStopping",
+    "EMACallback",
     "TrainingLoop",
 ]
 
@@ -59,6 +60,9 @@ class IterationRecord:
     #: Tensors allocated during this iteration (``tensor_alloc_count`` delta
     #: over the network + weight updates); replayed steps drive this to ~0.
     tensor_allocs: Optional[int] = None
+    #: Learning rate the network optimiser used for this iteration (the
+    #: schedule evaluated at this step; ``None`` when no optimiser is wired).
+    lr: Optional[float] = None
 
 
 class Callback:
@@ -96,10 +100,11 @@ class VerboseLogger(Callback):
 
     def on_evaluation(self, loop: "TrainingLoop", record: IterationRecord) -> None:
         replay_state = "replay" if record.replay_hit else "eager"
+        lr_part = f"lr={record.lr:.2e} " if record.lr is not None else ""
         print(
             f"[{self.label}] iter={record.iteration:5d} "
             f"loss={record.network_loss:.4f} val={record.validation_loss:.4f} "
-            f"[{replay_state}]"
+            f"{lr_part}[{replay_state}]"
         )
 
 
@@ -109,23 +114,106 @@ class BestStateCheckpoint(Callback):
     Marks ``record.improved`` so a downstream :class:`EarlyStopping` can
     reset its patience; callback order therefore matters (checkpoint before
     early stopping, which is how the default stack is assembled).
+
+    ``state_provider`` substitutes an alternative weight source for the
+    snapshots — e.g. :meth:`EMACallback.state_dict` so the checkpoint holds
+    averaged weights.  Because evaluation hooks fire *before* the iteration's
+    ``on_iteration_end`` (where the EMA updates), a provider-backed snapshot
+    is deferred to this callback's own ``on_iteration_end``; place the
+    provider callback earlier in the stack so its update has run by then.
     """
 
-    def __init__(self, margin: float = 1e-9) -> None:
+    def __init__(
+        self,
+        margin: float = 1e-9,
+        state_provider: Optional[Callable[[], Dict[str, np.ndarray]]] = None,
+    ) -> None:
         self.margin = margin
         self.best_loss = np.inf
         self.best_state = None
+        self.state_provider = state_provider
+        self._pending = False
 
     def on_evaluation(self, loop: "TrainingLoop", record: IterationRecord) -> None:
         if record.validation_loss is not None and record.validation_loss < self.best_loss - self.margin:
             self.best_loss = record.validation_loss
-            self.best_state = loop.trainer.backbone.state_dict()
+            if self.state_provider is None:
+                self.best_state = loop.trainer.backbone.state_dict()
+            else:
+                self._pending = True
             loop.history.best_iteration = record.iteration
             record.improved = True
 
+    def on_iteration_end(self, loop: "TrainingLoop", record: IterationRecord) -> None:
+        if self._pending:
+            self.best_state = self.state_provider()
+            self._pending = False
+
     def on_train_end(self, loop: "TrainingLoop") -> None:
+        if self._pending:  # stopped before the deferred snapshot ran
+            self.best_state = self.state_provider()
+            self._pending = False
         if self.best_state is not None:
             loop.trainer.backbone.load_state_dict(self.best_state)
+
+
+class EMACallback(Callback):
+    """Maintains an exponential moving average of the backbone parameters.
+
+    After every iteration the shadow weights move toward the live weights:
+    ``ema += (1 - decay) * (param - ema)``.  The delta form is used (rather
+    than ``decay * ema + (1 - decay) * param``) because it is exact when the
+    parameter equals the shadow — the EMA of constant parameters is the
+    identity, bit for bit — and it updates in place through preallocated
+    scratch buffers (no per-iteration allocations).
+
+    The shadow state is exposed via :meth:`state_dict` in the same format as
+    ``Module.state_dict`` so it can back a
+    :class:`BestStateCheckpoint(state_provider=...) <BestStateCheckpoint>`
+    snapshot or be loaded into a module directly with :meth:`apply_to`.
+    """
+
+    def __init__(self, decay: float = 0.99) -> None:
+        if not 0.0 < decay < 1.0:
+            raise ValueError("decay must be in (0, 1)")
+        self.decay = decay
+        self._params: List = []
+        self._shadow: Dict[str, np.ndarray] = {}
+        self._scratch: Dict[str, np.ndarray] = {}
+
+    def attach(self, module) -> None:
+        """Initialise the shadow from a module's current parameters."""
+        self._params = list(module.named_parameters())
+        self._shadow = {name: param.data.copy() for name, param in self._params}
+        self._scratch = {name: np.empty_like(param.data) for name, param in self._params}
+
+    def on_train_begin(self, loop: "TrainingLoop") -> None:
+        self.attach(loop.trainer.backbone)
+
+    def update(self) -> None:
+        """Move every shadow toward its live parameter (in place)."""
+        one_minus_decay = 1.0 - self.decay
+        for name, param in self._params:
+            shadow = self._shadow[name]
+            scratch = self._scratch[name]
+            # param.data is read by attribute each step: load_state_dict
+            # replaces the buffer but keeps the Tensor object.
+            np.subtract(param.data, shadow, out=scratch)
+            np.multiply(scratch, one_minus_decay, out=scratch)
+            np.add(shadow, scratch, out=shadow)
+
+    def on_iteration_end(self, loop: "TrainingLoop", record: IterationRecord) -> None:
+        self.update()
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copies of the shadow (EMA) weights, keyed like ``Module.state_dict``."""
+        if not self._shadow:
+            raise RuntimeError("EMACallback has not been attached to a module yet")
+        return {name: values.copy() for name, values in self._shadow.items()}
+
+    def apply_to(self, module) -> None:
+        """Load the EMA weights into ``module`` (replacing its live weights)."""
+        module.load_state_dict(self.state_dict())
 
 
 class EarlyStopping(Callback):
@@ -192,6 +280,11 @@ class TrainingLoop:
             # index array), preserving the historical code path exactly.
             indices = None if self.full_batch else batch.indices
 
+            optimizer = getattr(trainer, "_optimizer", None)
+            # Read before the step: current_lr is the rate the coming
+            # step() evaluates (the schedule at the pre-increment count).
+            iteration_lr = optimizer.current_lr if optimizer is not None else None
+
             allocs_before = tensor_alloc_count()
             network_loss = trainer._network_step(
                 batch.covariates, batch.treatment, batch.outcome, indices
@@ -211,6 +304,7 @@ class TrainingLoop:
                 replay_hit=bool(step_stats.get("replay_hit", False)),
                 graph_nodes=step_stats.get("graph_nodes"),
                 tensor_allocs=tensor_alloc_count() - allocs_before,
+                lr=iteration_lr,
             )
             if iteration % cfg.evaluation_interval == 0 or iteration == cfg.iterations - 1:
                 record.validation_loss = (

@@ -28,15 +28,21 @@ import numpy as np
 from ..data.batching import DataLoader
 from ..data.dataset import CausalDataset
 from ..metrics.evaluation import EffectEstimates, evaluate_effect_predictions
-from ..nn.optim import Adam, ExponentialDecay
+from ..nn.optim import (
+    SCHEDULE_REGISTRY,
+    Optimizer,
+    build_optimizer,
+    build_schedule,
+)
 from ..nn.tensor import Tensor, as_tensor, dtype_scope, no_grad
 from ..registry import frameworks as FRAMEWORK_REGISTRY
 from .backbones.base import BackboneForward, BaseBackbone
-from .config import SBRLConfig
+from .config import SBRLConfig, TrainingConfig
 from .loop import (
     BestStateCheckpoint,
     Callback,
     EarlyStopping,
+    EMACallback,
     HistoryRecorder,
     TrainingLoop,
     VerboseLogger,
@@ -45,7 +51,14 @@ from .regularizers.hierarchical import HierarchicalAttentionLoss
 from .replay import NetworkStepReplay
 from .weights import SampleWeights
 
-__all__ = ["SBRLTrainer", "TrainingHistory", "FrameworkSpec", "FRAMEWORKS", "FRAMEWORK_REGISTRY"]
+__all__ = [
+    "SBRLTrainer",
+    "TrainingHistory",
+    "FrameworkSpec",
+    "FRAMEWORKS",
+    "FRAMEWORK_REGISTRY",
+    "build_training_optimizer",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -131,6 +144,33 @@ if "vanilla" not in FRAMEWORK_REGISTRY:  # guard against double registration on 
 FRAMEWORKS = tuple(FRAMEWORK_REGISTRY.names())
 
 
+def build_training_optimizer(parameters, cfg: TrainingConfig) -> Optimizer:
+    """Build the network optimiser a :class:`TrainingConfig` describes.
+
+    The schedule's defaults are derived from the legacy fields so existing
+    configs keep their exact behaviour: ``exponential`` (the historical
+    default) reads ``lr_decay_rate`` / ``lr_decay_steps``, ``step`` reuses
+    them as drop rate / step size, ``cosine`` anneals over ``iterations``.
+    ``lr_schedule_params`` overrides any of these; ``lr_warmup_steps`` wraps
+    the result in a linear warmup.  The optimiser class comes from
+    :data:`repro.registry.optimizers` with ``optimizer_params`` forwarded.
+    """
+    name = SCHEDULE_REGISTRY.resolve(cfg.lr_schedule)
+    if name == "exponential":
+        defaults = {"decay_rate": cfg.lr_decay_rate, "decay_steps": cfg.lr_decay_steps}
+    elif name == "step":
+        defaults = {"drop_rate": cfg.lr_decay_rate, "step_size": cfg.lr_decay_steps}
+    elif name == "cosine":
+        defaults = {"total_steps": cfg.iterations}
+    else:  # constant (and any user-registered schedule): no derived defaults
+        defaults = {}
+    defaults.update(cfg.lr_schedule_params)
+    schedule = build_schedule(
+        cfg.lr_schedule, cfg.learning_rate, defaults, warmup_steps=cfg.lr_warmup_steps
+    )
+    return build_optimizer(cfg.optimizer, parameters, schedule, cfg.optimizer_params)
+
+
 @dataclass
 class TrainingHistory:
     """Scalar traces recorded during training (for tests, plots and debugging)."""
@@ -180,8 +220,13 @@ class SBRLTrainer:
             use_hierarchy=use_hierarchy,
         )
         self.uses_weights = spec.uses_weights and self.weight_objective is not None
-        self._optimizer: Optional[Adam] = None
+        self._optimizer: Optional[Optimizer] = None
         self._replay: Optional[NetworkStepReplay] = None
+        #: Which weights the backbone currently holds: ``"live"`` (the
+        #: checkpointed raw parameters) or ``"ema"`` (the exponential moving
+        #: average snapshot selected because ``TrainingConfig.ema_decay`` was
+        #: set).  Recorded by persisted artifacts.
+        self.weights_kind: str = "live"
         #: Metrics of the most recent network step (set by the replay engine
         #: or the eager path): ``{"replay_hit": bool, "graph_nodes": int|None}``.
         self.last_step_stats: Optional[Dict[str, object]] = None
@@ -244,8 +289,7 @@ class SBRLTrainer:
                     "stopping signal (warning shown once per process)"
                 )
 
-        schedule = ExponentialDecay(cfg.learning_rate, cfg.lr_decay_rate, cfg.lr_decay_steps)
-        self._optimizer = Adam(self.backbone.parameters(), schedule=schedule)
+        self._optimizer = build_training_optimizer(self.backbone.parameters(), cfg)
         self._replay = NetworkStepReplay(self) if cfg.graph_replay == "auto" else None
 
         if self.uses_weights:
@@ -259,12 +303,22 @@ class SBRLTrainer:
         stack: List[Callback] = [HistoryRecorder()]
         if cfg.verbose:
             stack.append(VerboseLogger(label=self.framework))
-        stack.append(BestStateCheckpoint())
+        if cfg.ema_decay is not None:
+            # The EMA updates each iteration; the checkpoint snapshots the
+            # averaged weights (deferred to after the EMA's update — see
+            # BestStateCheckpoint) and restores the best EMA state at the
+            # end, so the fitted backbone serves averaged weights.
+            ema = EMACallback(cfg.ema_decay)
+            stack.append(ema)
+            stack.append(BestStateCheckpoint(state_provider=ema.state_dict))
+        else:
+            stack.append(BestStateCheckpoint())
         stack.append(EarlyStopping(cfg.early_stopping_patience, cfg.evaluation_interval))
         stack.extend(callbacks)
 
         loop = TrainingLoop(self, loader, validation=val_std, callbacks=stack)
         loop.run()
+        self.weights_kind = "ema" if cfg.ema_decay is not None else "live"
         self.history.elapsed_seconds = time.perf_counter() - start
         return self.history
 

@@ -11,7 +11,7 @@ keeping every slice bitwise equal to its serial fit.
 
 :func:`fit_stacked` is the driver: it records iteration 0 of each model
 eagerly (exactly as the per-trainer replay engine would), fuses the K
-recorded programs, stacks the per-slice Adam state, and then replays the
+recorded programs, stacks the per-slice optimiser state, and then replays the
 remaining iterations in lockstep while reproducing the serial training
 loop's bookkeeping — history cadence, best-state checkpointing with the
 same margin, final restore — per slice.
@@ -35,10 +35,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..data.dataset import CausalDataset
-from ..nn.optim import Adam, ExponentialDecay
+from ..nn.optim import build_optimizer
 from ..nn.tape import StackedProgram, StackError, TapeRecorder
 from ..nn.tensor import dtype_scope
 from .estimator import HTEEstimator
+from .sbrl import build_training_optimizer
 
 __all__ = ["fit_stacked"]
 
@@ -73,6 +74,8 @@ def _unsupported_reason(
         return "early stopping can end slices at different iterations"
     if cfg.verbose:
         return "verbose logging is a per-slice side effect"
+    if cfg.ema_decay is not None:
+        return "EMA snapshots are a per-slice callback side effect"
     return None
 
 
@@ -146,10 +149,9 @@ def fit_stacked(
                 return False
             train_std, mean, std = train.standardize()
             trainer._standardize_mean, trainer._standardize_std = mean, std
-            schedule = ExponentialDecay(
-                cfg.learning_rate, cfg.lr_decay_rate, cfg.lr_decay_steps
+            trainer._optimizer = build_training_optimizer(
+                trainer.backbone.parameters(), cfg
             )
-            trainer._optimizer = Adam(trainer.backbone.parameters(), schedule=schedule)
             trainer._replay = None
 
             # Iteration 0 runs eagerly under a recorder — identical cost and
@@ -199,29 +201,30 @@ def fit_stacked(
             _record_history(trainer, 0, first_losses[k], best)
             bests.append(best)
 
-        # The per-slice Adam states after step 1 are stacked into one
-        # optimiser over the fused parameters: the moment updates are
-        # elementwise, so each slice's arithmetic is untouched.
-        optimizer = Adam(stacked.params, schedule=trainers[0]._optimizer.schedule)
+        # The per-slice optimiser states after step 1 are stacked into one
+        # optimiser over the fused parameters: every registered optimiser's
+        # update is elementwise, so each slice's arithmetic is untouched.
+        # The configured optimiser class is rebuilt over the fused params
+        # (sharing slice 0's schedule object — all K are identical) and its
+        # declared ``state_names`` are filled generically from the per-slice
+        # ``slot_state`` buffers (zeros for slices whose slot never stepped,
+        # matching the serial lazy initialisation).
+        optimizer = build_optimizer(
+            cfg.optimizer,
+            stacked.params,
+            trainers[0]._optimizer.schedule,
+            cfg.optimizer_params,
+        )
         optimizer.step_count = 1
         for stacked_param, sources in zip(stacked.params, stacked.param_sources):
-            key = id(stacked_param)
-            optimizer._m[key] = np.stack(
-                [
-                    trainers[k]._optimizer._m.get(
-                        id(sources[k]), np.zeros_like(sources[k].data)
-                    )
-                    for k in range(K)
-                ]
-            )
-            optimizer._v[key] = np.stack(
-                [
-                    trainers[k]._optimizer._v.get(
-                        id(sources[k]), np.zeros_like(sources[k].data)
-                    )
-                    for k in range(K)
-                ]
-            )
+            buffers = optimizer.slot_state(stacked_param)
+            for name in optimizer.state_names:
+                buffers[name][...] = np.stack(
+                    [
+                        trainers[k]._optimizer.slot_state(sources[k])[name]
+                        for k in range(K)
+                    ]
+                )
 
         interval = cfg.evaluation_interval
         for iteration in range(1, cfg.iterations):

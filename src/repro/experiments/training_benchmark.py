@@ -26,10 +26,11 @@ import logging
 import os
 import platform
 import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..core.config import BackboneConfig, RegularizerConfig, SBRLConfig, TrainingConfig
 from ..core.estimator import HTEEstimator
+from ..core.loop import Callback
 from ..data.synthetic import SyntheticConfig, SyntheticGenerator
 from .protocols import experiment_config, get_scale
 from .reporting import format_table
@@ -38,10 +39,22 @@ from .runner import MethodSpec, default_method_grid, run_methods, run_replicatio
 __all__ = ["benchmark_training", "format_benchmark", "write_benchmark"]
 
 #: (num_samples, batch_size, full_batch_epochs, minibatch_epochs,
-#:  grid_num_samples, n_jobs) — one source of truth for each mode, shared by
-#: the --smoke defaults and the smoke_reference block the CI gate reads.
-SMOKE_DEFAULTS = (600, 128, 4, 2, 300, 2)
-FULL_DEFAULTS = (4000, 256, 40, 20, 800, 4)
+#:  grid_num_samples, n_jobs, optimizer_num_samples, optimizer_iterations)
+#: — one source of truth for each mode, shared by the --smoke defaults and
+#: the smoke_reference block the CI gate reads.
+SMOKE_DEFAULTS = (600, 128, 4, 2, 300, 2, 300, 60)
+FULL_DEFAULTS = (4000, 256, 40, 20, 800, 4, 1200, 400)
+
+#: Optimizer/schedule combinations measured by the steps-to-target-PEHE
+#: section: (optimizer, schedule, learning_rate, optimizer_params,
+#: warmup_steps).  The first row — the paper's Adam + exponential-decay
+#: recipe at its default learning rate — defines the target.
+OPTIMIZER_COMBOS: Tuple[Tuple[str, str, float, Dict[str, object], int], ...] = (
+    ("adam", "exponential", 1e-3, {}, 0),
+    ("adamw", "cosine", 3e-3, {"weight_decay": 1e-4}, 0),
+    ("rmsprop", "exponential", 2e-3, {}, 0),
+    ("sgd", "cosine", 5e-2, {"momentum": 0.9}, 10),
+)
 
 
 def _engine_config(
@@ -177,6 +190,101 @@ def _stacked_section(
     }
 
 
+class _PEHETracker(Callback):
+    """Records ``(iteration, test PEHE)`` at every evaluation tick."""
+
+    def __init__(self, test) -> None:
+        self.test = test
+        self.trace: List[Tuple[int, float]] = []
+
+    def on_evaluation(self, loop, record) -> None:
+        metrics = loop.trainer.evaluate(self.test)
+        self.trace.append((record.iteration, float(metrics["pehe"])))
+
+
+def _optimizer_section(num_samples: int, iterations: int, seed: int) -> Dict[str, object]:
+    """Steps-to-target-PEHE across the registered optimizer/schedule combos.
+
+    Each combo fits the same vanilla-CFR architecture on the same protocol,
+    tracking test-environment PEHE on the evaluation cadence.  The target is
+    the Adam + exponential-decay baseline's final PEHE plus 5%; a combo's
+    ``steps_to_target`` is the first evaluated iteration at or below it
+    (``None`` when never reached), so lower means faster convergence — the
+    "steps, not just s/step" metric the optimizer layer exists for.
+    """
+    generator = SyntheticGenerator(SyntheticConfig(seed=seed))
+    protocol = generator.generate_train_test_protocol(
+        num_samples=num_samples, train_rho=2.5, test_rhos=(2.5,), seed=seed
+    )
+    train = protocol["train"]
+    test = next(iter(protocol["test_environments"].values()))
+    interval = max(5, iterations // 20)
+
+    combos: List[Dict[str, object]] = []
+    for optimizer, schedule, lr, optimizer_params, warmup in OPTIMIZER_COMBOS:
+        config = SBRLConfig(
+            backbone=BackboneConfig(rep_layers=2, rep_units=32, head_layers=2, head_units=16),
+            regularizers=RegularizerConfig(max_pairs_per_layer=12),
+            training=TrainingConfig(
+                iterations=iterations,
+                learning_rate=lr,
+                evaluation_interval=interval,
+                early_stopping_patience=None,
+                seed=seed,
+                optimizer=optimizer,
+                optimizer_params=dict(optimizer_params),
+                lr_schedule=schedule,
+                lr_warmup_steps=warmup,
+            ),
+        )
+        estimator = HTEEstimator(backbone="cfr", framework="vanilla", config=config, seed=seed)
+        trainer = estimator.build_trainer(train)
+        tracker = _PEHETracker(test)
+        start = time.perf_counter()
+        trainer.fit(train, callbacks=[tracker])
+        seconds = time.perf_counter() - start
+        pehes = [pehe for _, pehe in tracker.trace]
+        combos.append(
+            {
+                "optimizer": optimizer,
+                "schedule": schedule,
+                "learning_rate": lr,
+                "optimizer_params": dict(optimizer_params),
+                "warmup_steps": warmup,
+                "seconds": float(seconds),
+                "final_pehe": pehes[-1],
+                "best_pehe": min(pehes),
+                "trace": [[it, pehe] for it, pehe in tracker.trace],
+            }
+        )
+
+    target = combos[0]["final_pehe"] * 1.05
+    for combo in combos:
+        reached = [it for it, pehe in combo["trace"] if pehe <= target]
+        combo["steps_to_target"] = (reached[0] + 1) if reached else None
+    baseline_steps = combos[0]["steps_to_target"]
+    for combo in combos:
+        combo["improves_on_baseline"] = bool(
+            combo["steps_to_target"] is not None
+            and baseline_steps is not None
+            and combo["steps_to_target"] < baseline_steps
+        )
+    reaching = [c for c in combos if c["steps_to_target"] is not None]
+    best = min(reaching, key=lambda c: c["steps_to_target"]) if reaching else combos[0]
+    return {
+        "num_samples": num_samples,
+        "iterations": iterations,
+        "evaluation_interval": interval,
+        "backbone": "cfr",
+        "framework": "vanilla",
+        "target_pehe": float(target),
+        "baseline": "adam+exponential",
+        "best_combo": f"{best['optimizer']}+{best['schedule']}",
+        "combos": combos,
+        "seconds": float(sum(c["seconds"] for c in combos)),
+    }
+
+
 def benchmark_training(
     smoke: bool = False,
     num_samples: Optional[int] = None,
@@ -186,6 +294,8 @@ def benchmark_training(
     num_anchors: int = 256,
     grid_num_samples: Optional[int] = None,
     n_jobs: Optional[int] = None,
+    optimizer_num_samples: Optional[int] = None,
+    optimizer_iterations: Optional[int] = None,
     seed: int = 2024,
 ) -> Dict[str, object]:
     """Run the three benchmark sections and return one JSON-serialisable dict.
@@ -203,6 +313,12 @@ def benchmark_training(
     minibatch_epochs = minibatch_epochs if minibatch_epochs is not None else defaults[3]
     grid_num_samples = grid_num_samples if grid_num_samples is not None else defaults[4]
     n_jobs = n_jobs if n_jobs is not None else defaults[5]
+    optimizer_num_samples = (
+        optimizer_num_samples if optimizer_num_samples is not None else defaults[6]
+    )
+    optimizer_iterations = (
+        optimizer_iterations if optimizer_iterations is not None else defaults[7]
+    )
 
     generator = SyntheticGenerator(SyntheticConfig(seed=seed))
     protocol = generator.generate_train_test_protocol(
@@ -297,6 +413,11 @@ def benchmark_training(
             iterations=10 if smoke else 40,
             seed=seed,
         ),
+        "optimizer_comparison": _optimizer_section(
+            num_samples=optimizer_num_samples,
+            iterations=optimizer_iterations,
+            seed=seed,
+        ),
     }
     if not smoke:
         # Smoke-sized timings measured on the same machine as the full run:
@@ -322,9 +443,14 @@ def benchmark_training(
             smoke_protocol["test_environments"],
             seed,
         )
+        smoke_opt_samples, smoke_opt_iterations = SMOKE_DEFAULTS[6:8]
+        smoke_optimizer = _optimizer_section(
+            num_samples=smoke_opt_samples, iterations=smoke_opt_iterations, seed=seed
+        )
         result["smoke_reference"] = {
             "full_batch_seconds": smoke_full["seconds"],
             "minibatch_seconds": smoke_mini["seconds"],
+            "optimizer_comparison_seconds": smoke_optimizer["seconds"],
         }
     return result
 
@@ -367,6 +493,31 @@ def format_benchmark(result: Dict[str, object]) -> str:
             f"cpus: {result['machine']['cpu_count']})"
         ),
     )
+    optimizers = result.get("optimizer_comparison")
+    if optimizers:
+        opt_rows = [
+            [
+                f"{combo['optimizer']}+{combo['schedule']}"
+                + ("+warmup" if combo["warmup_steps"] else ""),
+                combo["learning_rate"],
+                combo["steps_to_target"] if combo["steps_to_target"] is not None else "-",
+                combo["final_pehe"],
+                combo["best_pehe"],
+                combo["seconds"],
+            ]
+            for combo in optimizers["combos"]
+        ]
+        text += "\n" + format_table(
+            ["optimizer/schedule", "lr", "steps-to-target", "final PEHE", "best PEHE", "seconds"],
+            opt_rows,
+            title=(
+                f"Steps to target PEHE ({optimizers['target_pehe']:.4f} = "
+                f"{optimizers['baseline']} final +5%) on "
+                f"{optimizers['num_samples']} samples, "
+                f"{optimizers['iterations']} iterations "
+                f"(best: {optimizers['best_combo']})"
+            ),
+        )
     stacked = result.get("stacked_replications")
     if stacked:
         stacked_rows = [

@@ -7,7 +7,20 @@ SBRL-HAP implementation.  See ``DESIGN.md`` for the substitution rationale.
 from . import functional
 from .init import he_normal, ones, xavier_normal, xavier_uniform, zeros
 from .modules import MLP, Linear, Module, RepresentationNetwork, Sequential
-from .optim import SGD, Adam, ConstantSchedule, ExponentialDecay, Optimizer
+from .optim import (
+    SGD,
+    Adam,
+    AdamW,
+    ConstantSchedule,
+    CosineDecay,
+    ExponentialDecay,
+    Optimizer,
+    RMSprop,
+    StepDecay,
+    WarmupSchedule,
+    build_optimizer,
+    build_schedule,
+)
 from .tensor import (
     Tensor,
     as_tensor,
@@ -43,8 +56,15 @@ __all__ = [
     "Optimizer",
     "SGD",
     "Adam",
+    "AdamW",
+    "RMSprop",
     "ConstantSchedule",
     "ExponentialDecay",
+    "StepDecay",
+    "CosineDecay",
+    "WarmupSchedule",
+    "build_optimizer",
+    "build_schedule",
     "xavier_uniform",
     "xavier_normal",
     "he_normal",

@@ -1,20 +1,63 @@
 """Optimisers and learning-rate schedules for the NN substrate.
 
 The paper trains with Adam and an exponentially decaying learning rate; both
-are provided here, along with plain SGD used in a handful of tests.
+are provided here, alongside AdamW, RMSprop and momentum SGD plus step /
+cosine / warmup schedules, all registered in :data:`repro.registry.optimizers`
+and :data:`repro.registry.schedules` so training configs can select them by
+name (``TrainingConfig.optimizer`` / ``TrainingConfig.lr_schedule``).
+
+Every optimiser's ``step()`` is strictly in place: per-parameter state and
+scratch buffers are allocated once (on the first step that sees a gradient)
+and every subsequent step runs pure ``out=``-form ufunc sequences.  No array
+is allocated per step — the property the graph-replay engine's zero-alloc
+guarantee rests on — and the parameter buffer keeps its identity (replay
+pins it; ``_version`` is bumped for the compiled-inference cache).
+
+Two contracts worth knowing:
+
+* **State follows the parameter object, not its memory address.**  State is
+  kept per parameter *slot* and guarded by object identity, so a tensor that
+  happens to be allocated at a freed parameter's ``id()`` can never inherit
+  stale moments, and replacing a slot's parameter resets that slot's state.
+* **Schedule symmetry.**  The base class evaluates the schedule exactly once
+  per step at the *pre-increment* ``step_count`` and bumps the counter after
+  the update, for every optimiser.  Swapping optimisers under the same
+  schedule therefore yields the same learning-rate sequence
+  ``schedule(0), schedule(1), ...`` — there is no per-optimiser off-by-one.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from ..registry import optimizers as OPTIMIZER_REGISTRY
+from ..registry import schedules as SCHEDULE_REGISTRY
 from .tensor import Tensor
 
-__all__ = ["Optimizer", "SGD", "Adam", "ExponentialDecay", "ConstantSchedule"]
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "RMSprop",
+    "ConstantSchedule",
+    "ExponentialDecay",
+    "StepDecay",
+    "CosineDecay",
+    "WarmupSchedule",
+    "build_schedule",
+    "build_optimizer",
+    "OPTIMIZER_REGISTRY",
+    "SCHEDULE_REGISTRY",
+]
 
 
+# --------------------------------------------------------------------------- #
+# Learning-rate schedules: callables ``step -> lr``
+# --------------------------------------------------------------------------- #
 class ConstantSchedule:
     """A learning-rate schedule that never changes."""
 
@@ -28,7 +71,11 @@ class ConstantSchedule:
 
 
 class ExponentialDecay:
-    """Exponentially decaying learning rate, ``lr * decay^(step / decay_steps)``."""
+    """Exponentially decaying learning rate, ``lr * decay^(step / decay_steps)``.
+
+    The exponent is continuous in ``step`` (not floored), so the sequence has
+    no jumps at ``decay_steps`` boundaries.
+    """
 
     def __init__(self, learning_rate: float, decay_rate: float = 0.97, decay_steps: int = 100) -> None:
         if learning_rate <= 0:
@@ -45,8 +92,97 @@ class ExponentialDecay:
         return self.learning_rate * self.decay_rate ** (step / self.decay_steps)
 
 
+class StepDecay:
+    """Piecewise-constant decay: ``lr * drop_rate^floor(step / step_size)``."""
+
+    def __init__(self, learning_rate: float, drop_rate: float = 0.5, step_size: int = 100) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0 < drop_rate <= 1:
+            raise ValueError("drop rate must be in (0, 1]")
+        if step_size <= 0:
+            raise ValueError("step size must be positive")
+        self.learning_rate = float(learning_rate)
+        self.drop_rate = float(drop_rate)
+        self.step_size = int(step_size)
+
+    def __call__(self, step: int) -> float:
+        return self.learning_rate * self.drop_rate ** (step // self.step_size)
+
+
+class CosineDecay:
+    """Cosine annealing from ``learning_rate`` at step 0 to ``min_lr``.
+
+    ``schedule(0) == learning_rate`` and ``schedule(step) == min_lr`` exactly
+    for every ``step >= total_steps``.
+    """
+
+    def __init__(self, learning_rate: float, total_steps: int = 1000, min_lr: float = 0.0) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+        if total_steps <= 0:
+            raise ValueError("total steps must be positive")
+        if not 0 <= min_lr < learning_rate:
+            raise ValueError("min_lr must be in [0, learning_rate)")
+        self.learning_rate = float(learning_rate)
+        self.total_steps = int(total_steps)
+        self.min_lr = float(min_lr)
+
+    def __call__(self, step: int) -> float:
+        progress = min(step, self.total_steps) / self.total_steps
+        return self.min_lr + 0.5 * (self.learning_rate - self.min_lr) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+
+
+class WarmupSchedule:
+    """Linear-warmup wrapper around any schedule.
+
+    During the first ``warmup_steps`` steps the wrapped schedule's value is
+    scaled by ``(step + 1) / warmup_steps``; the ramp reaches exactly 1.0 on
+    the last warmup step, so the handoff at ``step >= warmup_steps`` is
+    continuous and bitwise equal to the wrapped schedule.
+    """
+
+    def __init__(self, schedule, warmup_steps: int) -> None:
+        if warmup_steps <= 0:
+            raise ValueError("warmup_steps must be positive")
+        if isinstance(schedule, (int, float)):
+            schedule = ConstantSchedule(float(schedule))
+        self.schedule = schedule
+        self.warmup_steps = int(warmup_steps)
+
+    def __call__(self, step: int) -> float:
+        if step < self.warmup_steps:
+            return self.schedule(step) * (step + 1) / self.warmup_steps
+        return self.schedule(step)
+
+
+# --------------------------------------------------------------------------- #
+# Optimisers
+# --------------------------------------------------------------------------- #
 class Optimizer:
-    """Base optimiser: holds parameters and a learning-rate schedule."""
+    """Base optimiser: holds parameters, slot-keyed state and a schedule.
+
+    Subclasses implement :meth:`_update` (one parameter's in-place update)
+    and declare ``state_names`` — the persistent per-parameter buffers that
+    survive between steps (moments, velocities) — and ``scratch_names`` —
+    preallocated temporaries whose content is irrelevant across steps.  Both
+    live in one per-slot buffer dict created lazily on the first step that
+    sees a gradient for that slot.
+
+    State is keyed by slot index *and* guarded by parameter object identity:
+    if the tensor occupying a slot is replaced, the stale buffers are
+    discarded and fresh (zero) state is created.  This replaces the
+    historical ``id(param)``-keyed dicts, under which a freed parameter
+    whose ``id`` was recycled by a new tensor silently inherited its
+    predecessor's moments.
+    """
+
+    #: Persistent per-parameter state buffers (zero-initialised).
+    state_names: Tuple[str, ...] = ()
+    #: Per-parameter scratch buffers (uninitialised, rewritten every step).
+    scratch_names: Tuple[str, ...] = ()
 
     def __init__(self, parameters: Iterable[Tensor], schedule) -> None:
         self.parameters: List[Tensor] = list(parameters)
@@ -56,59 +192,125 @@ class Optimizer:
             schedule = ConstantSchedule(float(schedule))
         self.schedule = schedule
         self.step_count = 0
+        #: ``(param, buffers)`` per slot; ``None`` until the slot first steps.
+        self._slots: List[Optional[Tuple[Tensor, Dict[str, np.ndarray]]]] = [
+            None for _ in self.parameters
+        ]
 
     @property
     def current_lr(self) -> float:
+        """The learning rate the *next* ``step()`` will use."""
         return self.schedule(self.step_count)
 
     def zero_grad(self) -> None:
         for param in self.parameters:
             param.zero_grad()
 
-    def step(self) -> None:  # pragma: no cover - abstract
-        raise NotImplementedError
+    # ------------------------------------------------------------------ #
+    # Slot-keyed state
+    # ------------------------------------------------------------------ #
+    def _buffers(self, index: int, param: Tensor) -> Dict[str, np.ndarray]:
+        """State + scratch buffers for slot ``index``, identity-guarded."""
+        entry = self._slots[index]
+        if entry is None or entry[0] is not param:
+            buffers: Dict[str, np.ndarray] = {}
+            for name in self.state_names:
+                buffers[name] = np.zeros_like(param.data)
+            for name in self.scratch_names:
+                buffers[name] = np.empty_like(param.data)
+            self._slots[index] = (param, buffers)
+            return buffers
+        return entry[1]
 
+    def slot_state(self, param: Tensor) -> Dict[str, np.ndarray]:
+        """Buffers of the slot holding ``param`` (created zeroed if absent).
 
-class SGD(Optimizer):
-    """Stochastic gradient descent with optional momentum."""
+        Used by the stacked-replay driver to read K per-slice states and to
+        install fused ``(K, ...)`` state; raises for unknown parameters.
+        """
+        for index, candidate in enumerate(self.parameters):
+            if candidate is param:
+                return self._buffers(index, param)
+        raise KeyError("tensor is not a parameter of this optimizer")
 
-    def __init__(self, parameters: Iterable[Tensor], lr: float = 1e-2, momentum: float = 0.0) -> None:
-        super().__init__(parameters, lr)
-        if not 0.0 <= momentum < 1.0:
-            raise ValueError("momentum must be in [0, 1)")
-        self.momentum = momentum
-        self._velocity: Dict[int, np.ndarray] = {}
-        self._scratch: Dict[int, np.ndarray] = {}
-
+    # ------------------------------------------------------------------ #
+    # Stepping
+    # ------------------------------------------------------------------ #
     def step(self) -> None:
-        lr = self.current_lr
-        for param in self.parameters:
+        """Apply one in-place update to every parameter with a gradient.
+
+        The schedule is evaluated exactly once, at the pre-increment
+        ``step_count`` (so every optimiser sees the sequence
+        ``schedule(0), schedule(1), ...``), and ``t`` — the 1-based step
+        number used by bias corrections — is ``step_count + 1``.
+        """
+        lr = self.schedule(self.step_count)
+        t = self.step_count + 1
+        for index, param in enumerate(self.parameters):
             if param.grad is None:
                 continue
             # In-place update sequences: no per-step allocations beyond the
             # lazily-created persistent state/scratch buffers, and the
             # parameter buffer keeps its identity (graph replay pins it).
             # Never write into param.grad — replay owns that buffer.
-            if self.momentum > 0:
-                velocity = self._velocity.get(id(param))
-                if velocity is None:
-                    velocity = self._velocity[id(param)] = np.zeros_like(param.data)
-                np.multiply(velocity, self.momentum, out=velocity)
-                np.add(velocity, param.grad, out=velocity)
-                update = velocity
-            else:
-                update = param.grad
-            scratch = self._scratch.get(id(param))
-            if scratch is None:
-                scratch = self._scratch[id(param)] = np.empty_like(param.data)
-            np.multiply(update, lr, out=scratch)
-            np.subtract(param.data, scratch, out=param.data)
+            self._update(param, param.grad, lr, t, self._buffers(index, param))
             param._version = getattr(param, "_version", 0) + 1
         self.step_count += 1
 
+    def _update(
+        self,
+        param: Tensor,
+        grad: np.ndarray,
+        lr: float,
+        t: int,
+        buffers: Dict[str, np.ndarray],
+    ) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    scratch_names = ("scratch",)
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        schedule=None,
+    ) -> None:
+        super().__init__(parameters, schedule if schedule is not None else lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        if momentum > 0:
+            self.state_names = ("velocity",)
+
+    def _update(self, param, grad, lr, t, buffers) -> None:
+        if self.momentum > 0:
+            velocity = buffers["velocity"]
+            np.multiply(velocity, self.momentum, out=velocity)
+            np.add(velocity, grad, out=velocity)
+            update = velocity
+        else:
+            update = grad
+        scratch = buffers["scratch"]
+        np.multiply(update, lr, out=scratch)
+        np.subtract(param.data, scratch, out=param.data)
+
 
 class Adam(Optimizer):
-    """Adam optimiser (Kingma & Ba, 2015), the optimiser used in the paper."""
+    """Adam optimiser (Kingma & Ba, 2015), the optimiser used in the paper.
+
+    ``weight_decay`` adds classic (coupled) L2 decay — the gradient becomes
+    ``grad + weight_decay * param`` — folded into the in-place scratch
+    sequence, so the zero-alloc guarantee holds with decay active too.  For
+    decoupled decay use :class:`AdamW`.
+    """
+
+    state_names = ("m", "v")
+    scratch_names = ("s1", "s2")
 
     def __init__(
         self,
@@ -123,53 +325,187 @@ class Adam(Optimizer):
         beta1, beta2 = betas
         if not 0 <= beta1 < 1 or not 0 <= beta2 < 1:
             raise ValueError("betas must be in [0, 1)")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
         self.beta1 = beta1
         self.beta2 = beta2
         self.eps = eps
         self.weight_decay = weight_decay
-        self._m: Dict[int, np.ndarray] = {}
-        self._v: Dict[int, np.ndarray] = {}
-        self._scratch: Dict[int, tuple] = {}
+        if weight_decay > 0 and self._couples_decay():
+            self.scratch_names = self.scratch_names + ("decayed",)
 
-    def step(self) -> None:
-        lr = self.current_lr
-        self.step_count += 1
-        t = self.step_count
+    def _couples_decay(self) -> bool:
+        """Whether decay is folded into the gradient (AdamW overrides)."""
+        return True
+
+    def _update(self, param, grad, lr, t, buffers) -> None:
+        if self.weight_decay > 0 and self._couples_decay():
+            # Bitwise equal to the historical allocating expression
+            # ``grad + weight_decay * param`` (IEEE addition commutes),
+            # computed into a preallocated scratch buffer.
+            decayed = buffers["decayed"]
+            np.multiply(param.data, self.weight_decay, out=decayed)
+            np.add(decayed, grad, out=decayed)
+            grad = decayed
         beta1, beta2 = self.beta1, self.beta2
-        for param in self.parameters:
-            if param.grad is None:
-                continue
-            grad = param.grad
-            if self.weight_decay > 0:
-                grad = grad + self.weight_decay * param.data
-            m = self._m.get(id(param))
-            v = self._v.get(id(param))
-            if m is None:
-                m = self._m[id(param)] = np.zeros_like(param.data)
-                v = self._v[id(param)] = np.zeros_like(param.data)
-            scratch = self._scratch.get(id(param))
-            if scratch is None:
-                scratch = self._scratch[id(param)] = (
-                    np.empty_like(param.data),
-                    np.empty_like(param.data),
-                )
-            s1, s2 = scratch
-            # In-place ufunc sequences, elementwise-bitwise equal to the
-            # historical allocating expressions (scalar multiplies commute
-            # in IEEE arithmetic).  Never writes into param.grad, and the
-            # parameter buffer keeps its identity (graph replay pins it).
-            np.multiply(m, beta1, out=m)
-            np.multiply(grad, 1 - beta1, out=s1)
-            np.add(m, s1, out=m)
-            np.multiply(v, beta2, out=v)
-            np.multiply(grad, 1 - beta2, out=s2)
-            np.multiply(s2, grad, out=s2)
-            np.add(v, s2, out=v)
-            np.divide(m, 1 - beta1 ** t, out=s1)
-            np.divide(v, 1 - beta2 ** t, out=s2)
-            np.multiply(s1, lr, out=s1)
-            np.sqrt(s2, out=s2)
-            np.add(s2, self.eps, out=s2)
-            np.divide(s1, s2, out=s1)
-            np.subtract(param.data, s1, out=param.data)
-            param._version = getattr(param, "_version", 0) + 1
+        m, v = buffers["m"], buffers["v"]
+        s1, s2 = buffers["s1"], buffers["s2"]
+        # In-place ufunc sequences, elementwise-bitwise equal to the
+        # historical allocating expressions (scalar multiplies commute
+        # in IEEE arithmetic).
+        np.multiply(m, beta1, out=m)
+        np.multiply(grad, 1 - beta1, out=s1)
+        np.add(m, s1, out=m)
+        np.multiply(v, beta2, out=v)
+        np.multiply(grad, 1 - beta2, out=s2)
+        np.multiply(s2, grad, out=s2)
+        np.add(v, s2, out=v)
+        np.divide(m, 1 - beta1 ** t, out=s1)
+        np.divide(v, 1 - beta2 ** t, out=s2)
+        np.multiply(s1, lr, out=s1)
+        np.sqrt(s2, out=s2)
+        np.add(s2, self.eps, out=s2)
+        np.divide(s1, s2, out=s1)
+        np.subtract(param.data, s1, out=param.data)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019).
+
+    The decay multiplies the parameter directly — ``param *= 1 - lr * wd``
+    before the adaptive update — instead of entering the moment estimates.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 1e-2,
+        schedule=None,
+    ) -> None:
+        super().__init__(
+            parameters, lr=lr, betas=betas, eps=eps, weight_decay=weight_decay, schedule=schedule
+        )
+
+    def _couples_decay(self) -> bool:
+        return False
+
+    def _update(self, param, grad, lr, t, buffers) -> None:
+        if self.weight_decay > 0:
+            np.multiply(param.data, 1.0 - lr * self.weight_decay, out=param.data)
+        super()._update(param, grad, lr, t, buffers)
+
+
+class RMSprop(Optimizer):
+    """RMSprop (Tieleman & Hinton, 2012) with optional momentum and L2 decay."""
+
+    state_names = ("square_avg",)
+    scratch_names = ("s1", "s2")
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 1e-3,
+        alpha: float = 0.99,
+        eps: float = 1e-8,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        schedule=None,
+    ) -> None:
+        super().__init__(parameters, schedule if schedule is not None else lr)
+        if not 0 < alpha < 1:
+            raise ValueError("alpha must be in (0, 1)")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.alpha = alpha
+        self.eps = eps
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        if momentum > 0:
+            self.state_names = self.state_names + ("velocity",)
+        if weight_decay > 0:
+            self.scratch_names = self.scratch_names + ("decayed",)
+
+    def _update(self, param, grad, lr, t, buffers) -> None:
+        if self.weight_decay > 0:
+            decayed = buffers["decayed"]
+            np.multiply(param.data, self.weight_decay, out=decayed)
+            np.add(decayed, grad, out=decayed)
+            grad = decayed
+        square_avg = buffers["square_avg"]
+        s1, s2 = buffers["s1"], buffers["s2"]
+        np.multiply(square_avg, self.alpha, out=square_avg)
+        np.multiply(grad, grad, out=s1)
+        np.multiply(s1, 1 - self.alpha, out=s1)
+        np.add(square_avg, s1, out=square_avg)
+        np.sqrt(square_avg, out=s1)
+        np.add(s1, self.eps, out=s1)
+        np.divide(grad, s1, out=s2)
+        np.multiply(s2, lr, out=s2)
+        if self.momentum > 0:
+            velocity = buffers["velocity"]
+            np.multiply(velocity, self.momentum, out=velocity)
+            np.add(velocity, s2, out=velocity)
+            np.subtract(param.data, velocity, out=param.data)
+        else:
+            np.subtract(param.data, s2, out=param.data)
+
+
+# --------------------------------------------------------------------------- #
+# Registry entries and config-driven builders
+# --------------------------------------------------------------------------- #
+if "adam" not in OPTIMIZER_REGISTRY:  # guard against double registration on re-import
+    OPTIMIZER_REGISTRY.register("adam", Adam, display_name="Adam")
+    OPTIMIZER_REGISTRY.register("adamw", AdamW, aliases=("adam-w",), display_name="AdamW")
+    OPTIMIZER_REGISTRY.register(
+        "rmsprop", RMSprop, aliases=("rms-prop",), display_name="RMSprop"
+    )
+    OPTIMIZER_REGISTRY.register(
+        "sgd", SGD, aliases=("momentum-sgd", "momentum"), display_name="SGD"
+    )
+
+if "constant" not in SCHEDULE_REGISTRY:
+    SCHEDULE_REGISTRY.register("constant", ConstantSchedule, display_name="constant")
+    SCHEDULE_REGISTRY.register(
+        "exponential", ExponentialDecay, aliases=("exponential-decay",), display_name="exponential decay"
+    )
+    SCHEDULE_REGISTRY.register(
+        "step", StepDecay, aliases=("step-decay",), display_name="step decay"
+    )
+    SCHEDULE_REGISTRY.register(
+        "cosine", CosineDecay, aliases=("cosine-decay", "cosine-annealing"), display_name="cosine decay"
+    )
+
+
+def build_schedule(
+    name: str,
+    learning_rate: float,
+    params: Optional[dict] = None,
+    warmup_steps: int = 0,
+):
+    """Instantiate a registered schedule by name, optionally warmup-wrapped.
+
+    ``params`` may override ``learning_rate``; unknown names raise the
+    registry's did-you-mean :class:`~repro.registry.UnknownComponentError`.
+    """
+    kwargs = dict(params or {})
+    kwargs.setdefault("learning_rate", learning_rate)
+    schedule = SCHEDULE_REGISTRY.create(name, **kwargs)
+    if warmup_steps:
+        schedule = WarmupSchedule(schedule, warmup_steps)
+    return schedule
+
+
+def build_optimizer(
+    name: str,
+    parameters: Iterable[Tensor],
+    schedule,
+    params: Optional[dict] = None,
+) -> Optimizer:
+    """Instantiate a registered optimiser by name over ``parameters``."""
+    cls = OPTIMIZER_REGISTRY.get(name)
+    return cls(parameters, schedule=schedule, **(params or {}))

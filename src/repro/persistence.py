@@ -97,6 +97,11 @@ def save_estimator(estimator, path) -> str:
             "seed": estimator.seed,
         },
         "num_features": int(backbone.num_features),
+        # Which weights the saved parameters are: "live" (checkpointed raw
+        # parameters) or "ema" (exponential-moving-average snapshot).  An
+        # additive manifest key — readers of older artifacts default to
+        # "live" — so the format version is unchanged.
+        "weights": getattr(trainer, "weights_kind", "live"),
         "config": estimator.config.to_dict(),
         "training_history": {
             "elapsed_seconds": trainer.history.elapsed_seconds,
@@ -225,5 +230,6 @@ def load_estimator(path, estimator_cls=None):
     trainer.restore_inference_state(
         standardize_mean, standardize_std, sample_weights=sample_weights
     )
+    trainer.weights_kind = manifest.get("weights", "live")
     estimator.trainer = trainer
     return estimator

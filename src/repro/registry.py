@@ -42,6 +42,8 @@ __all__ = [
     "regularizers",
     "benchmarks",
     "scenarios",
+    "optimizers",
+    "schedules",
 ]
 
 
@@ -249,3 +251,11 @@ benchmarks = Registry("benchmark")
 #: Stress-test scenario classes (:class:`repro.scenarios.Scenario` subclasses)
 #: perturbing the paper's data-generating process along named axes.
 scenarios = Registry("scenario")
+
+#: Optimizer classes (Adam, AdamW, RMSprop, SGD) for
+#: ``TrainingConfig.optimizer``; all provide strictly in-place ``step()``.
+optimizers = Registry("optimizer")
+
+#: Learning-rate schedule classes (constant, exponential, step, cosine) for
+#: ``TrainingConfig.lr_schedule``.
+schedules = Registry("schedule")

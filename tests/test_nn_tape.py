@@ -29,7 +29,7 @@ from repro.core.loop import Callback
 from repro.core.stacked import fit_stacked
 from repro.data.synthetic import SyntheticConfig, SyntheticGenerator
 from repro.experiments.runner import MethodSpec, run_replications
-from repro.nn.optim import SGD, Adam
+from repro.nn.optim import SGD, Adam, AdamW, RMSprop
 from repro.nn.tape import GraphReplayError, TapeRecorder
 from repro.nn.tensor import Tensor, dtype_scope, tensor_alloc_count
 
@@ -242,10 +242,22 @@ class TestInPlaceOptimizers:
         "make",
         [
             lambda p: Adam([p], lr=1e-3),
+            lambda p: Adam([p], lr=1e-3, weight_decay=1e-2),
+            lambda p: AdamW([p], lr=1e-3, weight_decay=1e-2),
+            lambda p: RMSprop([p], lr=1e-3),
+            lambda p: RMSprop([p], lr=1e-3, momentum=0.9, weight_decay=1e-2),
             lambda p: SGD([p], lr=1e-3),
             lambda p: SGD([p], lr=1e-3, momentum=0.9),
         ],
-        ids=["adam", "sgd", "sgd-momentum"],
+        ids=[
+            "adam",
+            "adam-weight-decay",
+            "adamw",
+            "rmsprop",
+            "rmsprop-momentum-decay",
+            "sgd",
+            "sgd-momentum",
+        ],
     )
     def test_steps_allocate_no_tensors_and_keep_buffer_identity(self, make):
         param = self._param()
