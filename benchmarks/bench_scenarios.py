@@ -23,6 +23,12 @@ Run from the repository root::
     # the cross-cell scheduler at the same seed, verify equality, record both
     PYTHONPATH=src python benchmarks/bench_scenarios.py --compare-scheduler-jobs 4
 
+    # cache-smoke gate (CI): cold + warm run against a result cache (warm
+    # must be 100% hits and >= 5x faster), then a 2-shard run whose merge
+    # must match the unsharded record bit for bit
+    PYTHONPATH=src python benchmarks/bench_scenarios.py --smoke \
+        --scenario overlap --scenario flip-noise --cache-selftest
+
 Like ``bench_training.py`` this is a plain script executed in CI on every
 push; the JSON is uploaded as an artifact so the robustness trajectory is
 tracked per PR.
@@ -47,6 +53,8 @@ from repro.experiments.scenario_suite import (  # noqa: E402
     ScenarioSuiteConfig,
     compare_scenario_records,
     format_scenario_suite,
+    format_suite_summary,
+    merge_scenario_shards,
     report_error_cells,
     run_scenario_suite,
     write_scenario_suite,
@@ -57,6 +65,90 @@ def _timed_run(config: ScenarioSuiteConfig):
     start = time.perf_counter()
     result = run_scenario_suite(config)
     return result, time.perf_counter() - start
+
+
+def _cache_selftest(config: ScenarioSuiteConfig, output: str) -> int:
+    """CI cache-smoke gate: cold run, 100%-hit warm run, shard-merge parity.
+
+    Runs the grid cold against a result cache, re-runs it warm (every unit
+    must be a cache hit and the run must be at least 5x faster), then runs
+    the same grid as two shards against the same cache and verifies the
+    ``merge_scenario_shards`` union is bit-identical to the unsharded run.
+    Writes the cold record (with a ``cache_smoke`` block) to ``output``.
+    """
+    import tempfile
+
+    workdir = None
+    cache_dir = config.cache_dir
+    if cache_dir is None:
+        workdir = tempfile.mkdtemp(prefix="scenario-cache-smoke-")
+        cache_dir = os.path.join(workdir, "cache")
+    shard_dir = workdir if workdir is not None else os.path.dirname(
+        os.path.abspath(cache_dir)
+    )
+
+    base = replace(config, cache_dir=cache_dir, shard=None, checkpoint=None)
+    print(f"cache selftest: cold run against {cache_dir}...")
+    cold, cold_seconds = _timed_run(base)
+    print(format_suite_summary(cold))
+    print(f"cold run: {cold_seconds:.2f}s; warm re-run...")
+    warm, warm_seconds = _timed_run(base)
+    print(format_suite_summary(warm))
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    print(f"warm run: {warm_seconds:.2f}s ({speedup:.1f}x vs cold)")
+
+    failures = 0
+    warm_cache = warm["cache"]
+    if warm_cache["misses"] != 0 or warm_cache["hits"] == 0:
+        print(
+            f"FAIL: warm run was not served entirely from cache "
+            f"({warm_cache['hits']} hits, {warm_cache['misses']} misses)",
+            file=sys.stderr,
+        )
+        failures += 1
+    if speedup < 5.0:
+        print(
+            f"FAIL: warm run only {speedup:.1f}x faster than cold (need >= 5x)",
+            file=sys.stderr,
+        )
+        failures += 1
+    differences = compare_scenario_records(cold, warm)
+    if differences:
+        print("FAIL: warm cells differ from cold cells:", file=sys.stderr)
+        for difference in differences:
+            print(f"  {difference}", file=sys.stderr)
+        failures += 1
+
+    print("running the grid as two shards against the same cache...")
+    checkpoints = []
+    for index in (1, 2):
+        checkpoint = os.path.join(shard_dir, f"cache-smoke-shard{index}.jsonl")
+        if os.path.exists(checkpoint):
+            os.unlink(checkpoint)
+        checkpoints.append(checkpoint)
+        run_scenario_suite(
+            replace(base, shard=(index, 2), checkpoint=checkpoint)
+        )
+    merged = merge_scenario_shards(checkpoints)
+    differences = compare_scenario_records(cold, merged)
+    if differences:
+        print("FAIL: merged shards differ from the unsharded run:", file=sys.stderr)
+        for difference in differences:
+            print(f"  {difference}", file=sys.stderr)
+        failures += 1
+    else:
+        print("merged shard record identical to the unsharded run")
+
+    cold["cache_smoke"] = {
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": speedup,
+        "warm_cache": warm_cache,
+        "shard_merge_identical": not differences,
+        "passed": failures == 0,
+    }
+    print(f"\nwrote {write_scenario_suite(cold, output)}")
+    return 1 if failures else 0
 
 
 def main(argv=None) -> int:
@@ -88,6 +180,25 @@ def main(argv=None) -> int:
         help="JSONL checkpoint to write (and resume from, if it exists)",
     )
     parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed result cache directory (see 'repro scenarios')",
+    )
+    parser.add_argument(
+        "--shard",
+        default=None,
+        metavar="K/N",
+        help="run only shard K of N; requires --checkpoint and/or --cache-dir",
+    )
+    parser.add_argument(
+        "--cache-selftest",
+        action="store_true",
+        help="CI cache-smoke gate: run the grid cold then warm against a "
+        "result cache (asserting 100%% hits and a >= 5x speedup), then run "
+        "it as two shards and verify the merged record matches the "
+        "unsharded run bit for bit",
+    )
+    parser.add_argument(
         "--check-against",
         default=None,
         metavar="RECORD",
@@ -111,6 +222,8 @@ def main(argv=None) -> int:
 
     if args.scheduler == "per-cell" and args.checkpoint is not None:
         parser.error("--checkpoint requires the cross-cell scheduler")
+    if args.shard is not None and args.checkpoint is None and args.cache_dir is None:
+        parser.error("--shard requires --checkpoint and/or --cache-dir")
 
     config = ScenarioSuiteConfig.from_options(
         smoke=args.smoke,
@@ -122,7 +235,12 @@ def main(argv=None) -> int:
         seed=args.seed,
         scheduler=args.scheduler,
         checkpoint=args.checkpoint,
+        cache_dir=args.cache_dir,
+        shard=args.shard,
     )
+
+    if args.cache_selftest:
+        return _cache_selftest(config, args.output)
 
     if args.compare_scheduler_jobs is not None:
         # Both comparison legs must actually execute the grid — a resumed

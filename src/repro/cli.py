@@ -12,6 +12,8 @@ Exposes the experiment harness without writing Python::
     repro serve-bench --rows 2000                                 # microbatching benchmark
     repro serve-bench --sustained --smoke                         # concurrent-frontend benchmark
     repro scenarios --smoke                                       # stress-test matrix
+    repro scenarios --cache-dir .cache --shard 1/2 --checkpoint s1.jsonl  # one shard
+    repro scenarios-merge s1.jsonl s2.jsonl                       # union the shards
 
 (Also runnable as ``python -m repro.cli`` when not installed.)  The CLI is
 intentionally thin: every command is a small wrapper over the public library
@@ -212,10 +214,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume from an existing JSONL checkpoint (must already exist)",
     )
     scenarios.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed result cache directory; unchanged cells are "
+        "served from it across invocations and machines",
+    )
+    scenarios.add_argument(
+        "--shard",
+        type=_shard_spec,
+        default=None,
+        metavar="K/N",
+        help="run only shard K of N (1-based, stable key hash); requires "
+        "--checkpoint and/or --cache-dir, merge with 'repro scenarios-merge'",
+    )
+    scenarios.add_argument(
         "--output", default=None, help="write the JSON record to this path"
     )
 
+    merge = subparsers.add_parser(
+        "scenarios-merge",
+        help="union shard checkpoints of one scenario grid into a full record",
+    )
+    merge.add_argument(
+        "checkpoints",
+        nargs="+",
+        metavar="CHECKPOINT",
+        help="shard checkpoint files written by 'repro scenarios --shard K/N'",
+    )
+    merge.add_argument(
+        "--cache-dir",
+        default=None,
+        help="also promote every merged unit result into this result cache",
+    )
+    merge.add_argument(
+        "--output", default=None, help="write the merged JSON record to this path"
+    )
+
     return parser
+
+
+def _shard_spec(value: str):
+    """argparse type for ``--shard K/N`` (clear error instead of traceback)."""
+    from .experiments.scheduler import parse_shard
+
+    try:
+        return parse_shard(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _command_list(_: argparse.Namespace) -> int:
@@ -478,6 +523,7 @@ def _command_scenarios(args: argparse.Namespace) -> int:
     from .experiments.scenario_suite import (
         ScenarioSuiteConfig,
         format_scenario_suite,
+        format_suite_summary,
         report_error_cells,
         run_scenario_suite,
         write_scenario_suite,
@@ -492,6 +538,8 @@ def _command_scenarios(args: argparse.Namespace) -> int:
         checkpoint = args.resume
     if args.scheduler == "per-cell" and checkpoint is not None:
         raise SystemExit("--checkpoint/--resume require the cross-cell scheduler")
+    if args.shard is not None and checkpoint is None and args.cache_dir is None:
+        raise SystemExit("--shard requires --checkpoint and/or --cache-dir")
     config = ScenarioSuiteConfig.from_options(
         smoke=args.smoke,
         scenario_names=args.scenario_names,
@@ -502,9 +550,38 @@ def _command_scenarios(args: argparse.Namespace) -> int:
         seed=args.seed,
         scheduler=args.scheduler,
         checkpoint=checkpoint,
+        cache_dir=args.cache_dir,
+        shard=args.shard,
     )
     result = run_scenario_suite(config)
     print(format_scenario_suite(result))
+    summary = format_suite_summary(result)
+    if summary:
+        print(summary)
+    if args.output is not None:
+        print(f"wrote {write_scenario_suite(result, args.output)}")
+    return report_error_cells(result)
+
+
+def _command_scenarios_merge(args: argparse.Namespace) -> int:
+    from .experiments.scenario_suite import (
+        format_scenario_suite,
+        format_suite_summary,
+        merge_scenario_shards,
+        report_error_cells,
+        write_scenario_suite,
+    )
+    from .experiments.scheduler import CheckpointError
+
+    try:
+        result = merge_scenario_shards(args.checkpoints, cache_dir=args.cache_dir)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_scenario_suite(result))
+    summary = format_suite_summary(result)
+    if summary:
+        print(summary)
     if args.output is not None:
         print(f"wrote {write_scenario_suite(result, args.output)}")
     return report_error_cells(result)
@@ -521,6 +598,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "train-bench": _command_train_bench,
     "bench-autodiff": _command_bench_autodiff,
     "scenarios": _command_scenarios,
+    "scenarios-merge": _command_scenarios_merge,
 }
 
 

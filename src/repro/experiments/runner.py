@@ -85,6 +85,10 @@ class MethodResult:
     per_environment: Dict[str, Dict[str, float]]
     stability: StabilityReport
     training_seconds: float
+    #: Wall-clock of the evaluation stage (all test environments), kept
+    #: separate from ``training_seconds`` so the scenario suite can report
+    #: per-stage timings (materialise / fit / evaluate / aggregate).
+    evaluate_seconds: float = 0.0
     history: Dict[str, list] = field(default_factory=dict)
 
     @property
@@ -107,16 +111,19 @@ def _evaluate_fitted(
         raise ValueError("need at least one test environment")
     per_environment: Dict[str, Dict[str, float]] = {}
     reports: List[EnvironmentReport] = []
+    start = time.perf_counter()
     for name, dataset in test_environments.items():
         metrics = estimator.evaluate(dataset)
         per_environment[str(name)] = metrics
         reports.append(EnvironmentReport(environment=str(name), metrics=metrics))
     stability = aggregate_across_environments(reports)
+    evaluate_seconds = time.perf_counter() - start
     return MethodResult(
         spec=spec,
         per_environment=per_environment,
         stability=stability,
         training_seconds=training_seconds,
+        evaluate_seconds=evaluate_seconds,
         history=estimator.training_history().as_dict(),
     )
 

@@ -15,12 +15,22 @@ Two schedulers drive the grid (``ScenarioSuiteConfig.scheduler``):
 * ``per-cell`` — the historical path: one
   :func:`repro.experiments.run_replications` call per (scenario, severity)
   cell, parallelising only within the cell;
-* ``cross-cell`` (default whenever ``n_jobs > 1``) — the whole
-  scenario x severity x replication x method grid flattened into one
-  work-unit queue over a single shared worker pool
-  (:mod:`repro.experiments.scheduler`), with per-unit failure isolation
-  and JSONL checkpoint/resume.  Identical seeds flow through both paths,
-  so their records agree bit-for-bit apart from measured wall-clock.
+* ``cross-cell`` (default whenever ``n_jobs > 1``, a checkpoint, cache or
+  shard is requested) — the whole scenario x severity x replication x
+  method grid flattened into one work-unit queue over a single shared
+  worker pool (:mod:`repro.experiments.scheduler`), with per-unit failure
+  isolation, JSONL checkpoint/resume, a content-addressed result cache
+  (``cache_dir`` — unchanged cells are free across invocations and
+  machines) and stable-hash sharding (``shard=(k, n)`` splits one grid
+  across n hosts; :func:`merge_scenario_shards` unions the shard
+  checkpoints back into one record).  Identical seeds flow through both
+  paths, so their records agree bit-for-bit apart from measured
+  wall-clock.
+
+The suite record carries a ``stages`` block (plan / materialise / fit /
+evaluate / aggregate wall-clock) and a ``cache`` block (hits, misses,
+seconds saved); :func:`format_suite_summary` renders both as the one-line
+summary ``repro scenarios`` prints.
 
 ``benchmarks/bench_scenarios.py`` wraps this module as the CI smoke job
 (including the parallel-equals-serial scheduler gate); ``repro scenarios``
@@ -35,24 +45,37 @@ import math
 import os
 import platform
 import sys
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..registry import scenarios as SCENARIO_REGISTRY
 from ..scenarios import DEFAULT_SEVERITIES, Scenario, available_scenarios, build_scenario
+from .cache import ResultCache
 from .protocols import experiment_config, get_scale
 from .reporting import format_table
 from .runner import MethodSpec, MethodResult, resolve_n_jobs, run_replications
-from .scheduler import plan_units, run_cross_cell, unit_key
+from .scheduler import (
+    CheckpointError,
+    UnitOutcome,
+    deserialize_method_result,
+    load_shard_checkpoint,
+    parse_shard,
+    plan_units,
+    run_cross_cell,
+    unit_key,
+)
 
 __all__ = [
     "ScenarioSuiteConfig",
     "ScenarioCellResult",
     "run_scenario_suite",
+    "merge_scenario_shards",
     "degradation_slope",
     "format_scenario_suite",
+    "format_suite_summary",
     "write_scenario_suite",
     "scenario_cell_metrics",
     "compare_scenario_records",
@@ -91,11 +114,29 @@ class ScenarioSuiteConfig:
     #: JSONL checkpoint path for the cross-cell scheduler; an existing
     #: matching checkpoint is resumed, completed units are not recomputed.
     checkpoint: Optional[str] = None
+    #: Directory of the content-addressed result cache; unit outcomes are
+    #: served from it (and written back to it) keyed by a blake2b digest of
+    #: their inputs, so re-runs of unchanged cells cost nothing.
+    cache_dir: Optional[str] = None
+    #: ``(k, n)`` — run only the units whose stable key hash falls in shard
+    #: k of n (1-based).  Requires a checkpoint and/or cache_dir so the
+    #: shard's results can be merged or served back later.
+    shard: Optional[Tuple[int, int]] = None
 
     def resolved_scenarios(self) -> List[str]:
         if self.scenario_names is None:
             return available_scenarios()
         return [SCENARIO_REGISTRY.resolve(name) for name in self.scenario_names]
+
+    def _needs_cross_cell(self) -> Optional[str]:
+        """The cross-cell-only feature in use, or ``None``."""
+        if self.checkpoint is not None:
+            return "checkpointing"
+        if self.cache_dir is not None:
+            return "the result cache"
+        if self.shard is not None:
+            return "sharding"
+        return None
 
     def resolved_scheduler(self) -> str:
         """The scheduler the suite will actually use."""
@@ -104,10 +145,11 @@ class ScenarioSuiteConfig:
                 raise ValueError(
                     f"unknown scheduler {self.scheduler!r}; available: {list(SCHEDULERS)}"
                 )
-            if self.scheduler == "per-cell" and self.checkpoint is not None:
-                raise ValueError("checkpointing requires the cross-cell scheduler")
+            feature = self._needs_cross_cell()
+            if self.scheduler == "per-cell" and feature is not None:
+                raise ValueError(f"{feature} requires the cross-cell scheduler")
             return self.scheduler
-        if self.checkpoint is not None:
+        if self._needs_cross_cell() is not None:
             return "cross-cell"
         return "cross-cell" if resolve_n_jobs(self.n_jobs) > 1 else "per-cell"
 
@@ -132,14 +174,17 @@ class ScenarioSuiteConfig:
         seed: int = 2024,
         scheduler: Optional[str] = None,
         checkpoint: Optional[str] = None,
+        cache_dir: Optional[str] = None,
+        shard=None,
     ) -> "ScenarioSuiteConfig":
         """The shared CLI / benchmark-script configuration policy.
 
         ``smoke`` shrinks the defaults of every *unset* knob to a
         seconds-scale run (250 samples, severities {0, 1}, smoke-scale
-        training); explicitly passed values always win.  Both ``repro
-        scenarios`` and ``benchmarks/bench_scenarios.py`` resolve their
-        arguments here, so the two entry points can never drift apart.
+        training); explicitly passed values always win.  ``shard`` accepts
+        a ``"K/N"`` string or a ``(K, N)`` pair.  Both ``repro scenarios``
+        and ``benchmarks/bench_scenarios.py`` resolve their arguments
+        here, so the two entry points can never drift apart.
         """
         if smoke:
             num_samples = num_samples if num_samples is not None else 250
@@ -156,6 +201,8 @@ class ScenarioSuiteConfig:
             scale="smoke" if smoke else "default",
             scheduler=scheduler,
             checkpoint=checkpoint,
+            cache_dir=cache_dir,
+            shard=parse_shard(shard) if shard is not None else None,
         )
 
 
@@ -317,7 +364,7 @@ def _run_grid_cross_cell(
     scenarios: "Dict[str, Tuple[Scenario, Tuple[float, ...]]]",
     specs: Sequence[MethodSpec],
     config: ScenarioSuiteConfig,
-) -> Dict[str, List[ScenarioCellResult]]:
+) -> Dict[str, UnitOutcome]:
     """Flattened path: the whole grid through one shared worker pool."""
     units = plan_units(
         {name: severities for name, (_, severities) in scenarios.items()},
@@ -327,30 +374,66 @@ def _run_grid_cross_cell(
         num_samples=config.num_samples,
         dims=config.dims,
     )
-    outcomes = run_cross_cell(units, n_jobs=config.n_jobs, checkpoint=config.checkpoint)
+    cache = ResultCache(config.cache_dir) if config.cache_dir is not None else None
+    return run_cross_cell(
+        units,
+        n_jobs=config.n_jobs,
+        checkpoint=config.checkpoint,
+        cache=cache,
+        shard=config.shard,
+    )
 
+
+#: ``get_outcome(scenario, severity, replication, method_index)`` shape the
+#: aggregation helper consumes: ``("ok", MethodResult)``, ``("error", msg)``
+#: or ``None`` when the unit was not run here (another shard's unit).
+_OutcomeGetter = Callable[[str, float, int, int], Optional[Tuple[str, object]]]
+
+
+def _aggregate_grid(
+    scenario_items: Sequence[Tuple[str, Sequence[float]]],
+    method_names: Sequence[str],
+    replications: int,
+    get_outcome: _OutcomeGetter,
+    partial: bool = False,
+) -> Dict[str, List[ScenarioCellResult]]:
+    """Collapse per-unit outcomes into cell rows, shared by the live
+    cross-cell path and shard merging.
+
+    With ``partial=True`` (a sharded run) cells whose units all live in
+    other shards are skipped and surviving cells aggregate only the
+    replications present here; otherwise a missing unit is a hard error —
+    an unsharded grid (or a verified shard union) must be complete.
+    """
     cells_by_scenario: Dict[str, List[ScenarioCellResult]] = {}
-    for scenario_name, (_, severities) in scenarios.items():
+    for scenario_name, severities in scenario_items:
         cells: List[ScenarioCellResult] = []
         for severity in severities:
-            for index, spec in enumerate(specs):
-                unit_outcomes = [
-                    outcomes[unit_key(scenario_name, severity, replication, index)]
-                    for replication in range(config.replications)
+            for index, method in enumerate(method_names):
+                entries = [
+                    (replication, get_outcome(scenario_name, severity, replication, index))
+                    for replication in range(replications)
                 ]
+                present = [(rep, entry) for rep, entry in entries if entry is not None]
+                if len(present) != len(entries) and not partial:
+                    missing = unit_key(
+                        scenario_name,
+                        severity,
+                        next(rep for rep, entry in entries if entry is None),
+                        index,
+                    )
+                    raise KeyError(f"no outcome for planned work unit {missing!r}")
+                if not present:
+                    continue  # cell lives entirely in other shards
                 errors = [
-                    f"replication {outcome.unit.replication}: {outcome.error}"
-                    for outcome in unit_outcomes
-                    if not outcome.ok
+                    f"replication {rep}: {entry[1]}"
+                    for rep, entry in present
+                    if entry[0] == "error"
                 ]
                 if errors:
                     cells.append(
                         _error_cell(
-                            scenario_name,
-                            severity,
-                            spec.name,
-                            config.replications,
-                            "; ".join(errors),
+                            scenario_name, severity, method, replications, "; ".join(errors)
                         )
                     )
                 else:
@@ -358,65 +441,34 @@ def _run_grid_cross_cell(
                         _aggregate_cell(
                             scenario_name,
                             severity,
-                            spec.name,
-                            [outcome.result for outcome in unit_outcomes],
+                            method,
+                            [entry[1] for _, entry in present],
                         )
                     )
         cells_by_scenario[scenario_name] = cells
     return cells_by_scenario
 
 
-def run_scenario_suite(config: Optional[ScenarioSuiteConfig] = None) -> Dict[str, object]:
-    """Run the scenario matrix and return one JSON-serialisable record.
-
-    For each scenario and severity, ``config.replications`` independent
-    datasets are built (seeded through the replication machinery's
-    ``SeedSequence`` spawning) and every method spec is fitted on each.
-    With the per-cell scheduler the work fans through
-    :func:`repro.experiments.run_replications` one cell at a time; with the
-    cross-cell scheduler (the default at ``n_jobs > 1``) the whole grid
-    shares one worker pool, failures isolate to error rows, and a JSONL
-    checkpoint makes long grids resumable — with identical cell metrics
-    either way at a fixed seed.
-    """
-    config = config if config is not None else ScenarioSuiteConfig()
-    scenario_names = config.resolved_scenarios()
-    if not scenario_names:
-        raise ValueError("no scenarios selected")
-    specs = config.resolved_methods(config.seed)
-    if not specs:
-        raise ValueError("need at least one method spec")
-    scheduler = config.resolved_scheduler()
-
-    scenarios: Dict[str, Tuple[Scenario, Tuple[float, ...]]] = {}
-    for scenario_name in scenario_names:
-        scenario = build_scenario(scenario_name, dims=config.dims)
-        severities = tuple(
-            config.severities if config.severities is not None else scenario.default_severities
-        )
-        if not severities:
-            raise ValueError("need at least one severity")
-        severities = tuple(scenario.check_severity(s) for s in severities)
-        scenarios[scenario_name] = (scenario, severities)
-
-    if scheduler == "cross-cell":
-        cells_by_scenario = _run_grid_cross_cell(scenarios, specs, config)
-    else:
-        cells_by_scenario = _run_grid_per_cell(scenarios, specs, config)
-
+def _scenario_records(
+    scenario_items: Sequence[Tuple[str, Mapping[str, object], Sequence[float]]],
+    method_names: Sequence[str],
+    cells_by_scenario: Mapping[str, List[ScenarioCellResult]],
+) -> Dict[str, Dict[str, object]]:
+    """Per-scenario record blocks (cells + degradation summary), shared by
+    live runs and shard merging so both aggregate bit-identically."""
     scenario_records: Dict[str, Dict[str, object]] = {}
-    for scenario_name, (scenario, severities) in scenarios.items():
+    for scenario_name, description, severities in scenario_items:
         cells = cells_by_scenario[scenario_name]
         degradation: Dict[str, Dict[str, Optional[float]]] = {}
-        for spec in specs:
+        for method in method_names:
             rows = [
                 cell
                 for cell in cells
-                if cell.method == spec.name and cell.error is None
+                if cell.method == method and cell.error is None
             ]
             rows.sort(key=lambda cell: cell.severity)
             if rows:
-                degradation[spec.name] = {
+                degradation[method] = {
                     "pehe_slope": degradation_slope(
                         [cell.severity for cell in rows], [cell.pehe_mean for cell in rows]
                     ),
@@ -439,8 +491,8 @@ def run_scenario_suite(config: Optional[ScenarioSuiteConfig] = None) -> Dict[str
                         else None
                     ),
                 }
-            else:  # every cell of this method errored
-                degradation[spec.name] = {
+            else:  # every cell of this method errored (or lives elsewhere)
+                degradation[method] = {
                     "pehe_slope": None,
                     "ate_error_slope": None,
                     "pehe_at_zero": None,
@@ -448,19 +500,174 @@ def run_scenario_suite(config: Optional[ScenarioSuiteConfig] = None) -> Dict[str
                 }
 
         scenario_records[scenario_name] = {
-            "description": scenario.describe(),
+            "description": dict(description),
             "severities": list(severities),
             "cells": [cell.as_dict() for cell in cells],
             "degradation": degradation,
         }
+    return scenario_records
+
+
+def _machine_block() -> Dict[str, object]:
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
+def _cache_block(
+    config: ScenarioSuiteConfig, outcomes: Optional[Mapping[str, UnitOutcome]]
+) -> Dict[str, object]:
+    """Cache statistics of one run (zeros when the cache is disabled)."""
+    hits = misses = replayed = 0
+    seconds_saved = 0.0
+    if outcomes is not None:
+        for outcome in outcomes.values():
+            if outcome.from_cache:
+                hits += 1
+                seconds_saved += outcome.seconds_saved
+            elif outcome.from_checkpoint:
+                replayed += 1
+            else:
+                misses += 1
+    consulted = hits + misses
+    return {
+        "enabled": config.cache_dir is not None,
+        "dir": config.cache_dir,
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": (hits / consulted) if consulted else 0.0,
+        "checkpoint_replayed": replayed,
+        "seconds_saved": seconds_saved,
+    }
+
+
+def _stage_block(
+    plan_seconds: float,
+    execute_seconds: float,
+    aggregate_seconds: float,
+    outcomes: Optional[Mapping[str, UnitOutcome]],
+) -> Dict[str, object]:
+    """Per-stage wall-clock of one run.
+
+    ``execute_seconds`` is the end-to-end grid wall-clock; for cross-cell
+    runs the materialise/fit/evaluate components are the summed per-unit
+    stage clocks of the units *executed here* (cached and checkpoint
+    replays cost nothing and are excluded — their avoided time shows up in
+    the cache block's ``seconds_saved`` instead).  The per-cell scheduler
+    cannot split its execution, so the components are ``None`` there.
+    """
+    materialise = fit = evaluate = None
+    if outcomes is not None:
+        executed = [
+            outcome
+            for outcome in outcomes.values()
+            if outcome.ok and not outcome.from_cache and not outcome.from_checkpoint
+        ]
+        materialise = float(sum(outcome.build_seconds for outcome in executed))
+        fit = float(sum(outcome.result.training_seconds for outcome in executed))
+        evaluate = float(sum(outcome.result.evaluate_seconds for outcome in executed))
+    return {
+        "plan_seconds": plan_seconds,
+        "execute_seconds": execute_seconds,
+        "materialise_seconds": materialise,
+        "fit_seconds": fit,
+        "evaluate_seconds": evaluate,
+        "aggregate_seconds": aggregate_seconds,
+    }
+
+
+def run_scenario_suite(config: Optional[ScenarioSuiteConfig] = None) -> Dict[str, object]:
+    """Run the scenario matrix and return one JSON-serialisable record.
+
+    For each scenario and severity, ``config.replications`` independent
+    datasets are built (seeded through the replication machinery's
+    ``SeedSequence`` spawning) and every method spec is fitted on each.
+    With the per-cell scheduler the work fans through
+    :func:`repro.experiments.run_replications` one cell at a time; with the
+    cross-cell scheduler (the default at ``n_jobs > 1`` or whenever a
+    checkpoint, cache or shard is requested) the whole grid shares one
+    worker pool, failures isolate to error rows, a JSONL checkpoint makes
+    long grids resumable, ``cache_dir`` serves unchanged units from the
+    content-addressed result cache, and ``shard`` restricts execution to
+    one stable-hash slice of the grid — with identical cell metrics every
+    way at a fixed seed.
+
+    The run is staged explicitly — plan (resolve scenarios/methods and
+    flatten the grid), materialise + fit/evaluate (the work units), then
+    aggregate (cells and degradation slopes) — and each stage's wall-clock
+    is reported in the record's ``stages`` block, so a cached re-run that
+    only re-aggregates (e.g. after a reporting change) shows its cost
+    honestly.
+    """
+    config = config if config is not None else ScenarioSuiteConfig()
+    plan_start = time.perf_counter()
+    scenario_names = config.resolved_scenarios()
+    if not scenario_names:
+        raise ValueError("no scenarios selected")
+    specs = config.resolved_methods(config.seed)
+    if not specs:
+        raise ValueError("need at least one method spec")
+    scheduler = config.resolved_scheduler()
+    if config.shard is not None and config.checkpoint is None and config.cache_dir is None:
+        raise ValueError(
+            "sharding needs a checkpoint and/or cache_dir — without one the "
+            "shard's results cannot be merged or served back"
+        )
+
+    scenarios: Dict[str, Tuple[Scenario, Tuple[float, ...]]] = {}
+    for scenario_name in scenario_names:
+        scenario = build_scenario(scenario_name, dims=config.dims)
+        severities = tuple(
+            config.severities if config.severities is not None else scenario.default_severities
+        )
+        if not severities:
+            raise ValueError("need at least one severity")
+        severities = tuple(scenario.check_severity(s) for s in severities)
+        scenarios[scenario_name] = (scenario, severities)
+    plan_seconds = time.perf_counter() - plan_start
+
+    execute_start = time.perf_counter()
+    outcomes: Optional[Dict[str, UnitOutcome]] = None
+    if scheduler == "cross-cell":
+        outcomes = _run_grid_cross_cell(scenarios, specs, config)
+    else:
+        cells_by_scenario = _run_grid_per_cell(scenarios, specs, config)
+    execute_seconds = time.perf_counter() - execute_start
+
+    aggregate_start = time.perf_counter()
+    method_names = [spec.name for spec in specs]
+    if outcomes is not None:
+
+        def get_outcome(name: str, severity: float, replication: int, index: int):
+            outcome = outcomes.get(unit_key(name, severity, replication, index))
+            if outcome is None:
+                return None
+            if outcome.ok:
+                return ("ok", outcome.result)
+            return ("error", outcome.error)
+
+        cells_by_scenario = _aggregate_grid(
+            [(name, severities) for name, (_, severities) in scenarios.items()],
+            method_names,
+            config.replications,
+            get_outcome,
+            partial=config.shard is not None,
+        )
+    scenario_records = _scenario_records(
+        [
+            (name, scenario.describe(), severities)
+            for name, (scenario, severities) in scenarios.items()
+        ],
+        method_names,
+        cells_by_scenario,
+    )
+    aggregate_seconds = time.perf_counter() - aggregate_start
 
     return {
         "benchmark": "scenario-matrix",
-        "machine": {
-            "cpu_count": os.cpu_count(),
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-        },
+        "machine": _machine_block(),
         "suite": {
             "num_samples": config.num_samples,
             "replications": config.replications,
@@ -468,11 +675,149 @@ def run_scenario_suite(config: Optional[ScenarioSuiteConfig] = None) -> Dict[str
             "seed": config.seed,
             "scale": config.scale,
             "dims": list(config.dims),
-            "methods": [spec.name for spec in specs],
+            "methods": method_names,
             "scenarios": scenario_names,
             "scheduler": scheduler,
             "checkpoint": config.checkpoint,
+            "cache_dir": config.cache_dir,
+            "shard": f"{config.shard[0]}/{config.shard[1]}" if config.shard else None,
         },
+        "cache": _cache_block(config, outcomes),
+        "stages": _stage_block(plan_seconds, execute_seconds, aggregate_seconds, outcomes),
+        "scenarios": scenario_records,
+    }
+
+
+def merge_scenario_shards(
+    paths: Sequence[str], cache_dir: Optional[str] = None
+) -> Dict[str, object]:
+    """Union shard checkpoints into one complete suite record.
+
+    Every checkpoint must carry the same full-grid fingerprint (shards of
+    one merge must come from one plan — a mismatched file is refused with
+    a :class:`CheckpointError`), the union must cover every work unit of
+    the grid exactly once (missing units mean a shard has not run yet;
+    duplicates mean the same shard was merged twice), and cells plus
+    degradation slopes are recomputed from the union through the same
+    aggregation helpers the live path uses — so the merged record's cell
+    metrics are bit-identical to an unsharded run of the same grid.
+
+    With ``cache_dir`` set, every successful unit record is also promoted
+    into the content-addressed result cache under its recorded
+    ``cache_key``, so a merge seeds the cache for every later run.
+    """
+    if not paths:
+        raise ValueError("need at least one shard checkpoint")
+    start = time.perf_counter()
+    headers: List[Tuple[str, Dict[str, object]]] = []
+    records: Dict[str, Dict[str, object]] = {}
+    origin: Dict[str, str] = {}
+    for path in paths:
+        header, shard_records = load_shard_checkpoint(path)
+        if headers and header["fingerprint"] != headers[0][1]["fingerprint"]:
+            raise CheckpointError(
+                f"{path} was written for a different grid than {headers[0][0]} "
+                f"(fingerprints differ); every shard of one merge must come "
+                f"from the same plan"
+            )
+        headers.append((path, header))
+        for key, record in shard_records.items():
+            if key in records:
+                raise CheckpointError(
+                    f"work unit {key!r} appears in both {origin[key]} and "
+                    f"{path}; shards must be disjoint (was one shard merged "
+                    f"twice?)"
+                )
+            records[key] = record
+            origin[key] = path
+
+    grid = headers[0][1]["grid"]
+    method_names = [str(name) for name in grid["methods"]]
+    replications = int(grid["replications"])
+    scenario_items: List[Tuple[str, List[float]]] = [
+        (str(name), [float(severity) for severity in severities])
+        for name, severities in grid["scenarios"].items()
+    ]
+    expected = {
+        unit_key(name, severity, replication, index)
+        for name, severities in scenario_items
+        for severity in severities
+        for replication in range(replications)
+        for index in range(len(method_names))
+    }
+    unknown = sorted(set(records) - expected)
+    if unknown:
+        raise CheckpointError(
+            f"merged checkpoints record a unit outside their own grid header "
+            f"({unknown[0]!r}); the files are inconsistent"
+        )
+    missing = sorted(expected - set(records))
+    if missing:
+        raise CheckpointError(
+            f"{len(missing)} of {len(expected)} work units are missing from "
+            f"the merged shards (e.g. {missing[0]!r}); run the missing "
+            f"shard(s) first"
+        )
+
+    def get_outcome(name: str, severity: float, replication: int, index: int):
+        record = records[unit_key(name, severity, replication, index)]
+        if record.get("ok"):
+            return ("ok", deserialize_method_result(record["result"], None))
+        return ("error", str(record.get("error")))
+
+    cells_by_scenario = _aggregate_grid(
+        scenario_items, method_names, replications, get_outcome
+    )
+    dims = tuple(int(d) for d in grid["dims"])
+    items_with_description: List[Tuple[str, Mapping[str, object], Sequence[float]]] = []
+    for name, severities in scenario_items:
+        try:
+            description = build_scenario(name, dims=dims).describe()
+        except Exception:  # noqa: BLE001 - scenario unregistered on this host
+            description = {"name": name, "axis": "unknown"}
+        items_with_description.append((name, description, severities))
+    scenario_records = _scenario_records(
+        items_with_description, method_names, cells_by_scenario
+    )
+
+    promoted = 0
+    if cache_dir is not None:
+        cache = ResultCache(cache_dir)
+        for record in records.values():
+            cache_key = record.get("cache_key")
+            if record.get("ok") and cache_key and str(cache_key) not in cache:
+                cache.put(
+                    str(cache_key),
+                    {
+                        "result": record["result"],
+                        "build_seconds": float(record.get("build_seconds", 0.0)),
+                    },
+                )
+                promoted += 1
+
+    aggregate_seconds = time.perf_counter() - start
+    return {
+        "benchmark": "scenario-matrix",
+        "machine": _machine_block(),
+        "suite": {
+            "num_samples": grid["num_samples"],
+            "replications": replications,
+            "dims": list(grid["dims"]),
+            "methods": method_names,
+            "scenarios": [name for name, _ in scenario_items],
+            "scheduler": "cross-cell",
+            "checkpoint": None,
+            "cache_dir": cache_dir,
+            "shard": None,
+            "merged_from": [str(path) for path in paths],
+            "fingerprint": headers[0][1]["fingerprint"],
+        },
+        "cache": {
+            "enabled": cache_dir is not None,
+            "dir": cache_dir,
+            "promoted": promoted,
+        },
+        "stages": {"aggregate_seconds": aggregate_seconds},
         "scenarios": scenario_records,
     }
 
@@ -518,6 +863,52 @@ def format_scenario_suite(result: Mapping[str, object]) -> str:
         )
     )
     return "\n".join(sections)
+
+
+def format_suite_summary(result: Mapping[str, object]) -> str:
+    """Per-stage wall-clock and cache statistics of one suite record.
+
+    One line per block, suitable for printing after the tables — cache
+    wins and stage costs are visible without opening the JSON.  Records
+    without the blocks (old files) format to an empty string.
+    """
+    lines: List[str] = []
+    stages = result.get("stages") or {}
+    parts: List[str] = []
+    for label, key in (
+        ("plan", "plan_seconds"),
+        ("execute", "execute_seconds"),
+        ("aggregate", "aggregate_seconds"),
+    ):
+        value = stages.get(key)
+        if value is None:
+            continue
+        text = f"{label} {value:.2f}s"
+        if label == "execute" and stages.get("fit_seconds") is not None:
+            text += (
+                f" (materialise {stages['materialise_seconds']:.2f}s, "
+                f"fit {stages['fit_seconds']:.2f}s, "
+                f"evaluate {stages['evaluate_seconds']:.2f}s)"
+            )
+        parts.append(text)
+    if parts:
+        lines.append("stages: " + " | ".join(parts))
+    cache = result.get("cache") or {}
+    if cache.get("enabled"):
+        pieces: List[str] = []
+        if "hits" in cache:
+            pieces.append(
+                f"{cache['hits']} hits / {cache['misses']} misses "
+                f"({cache.get('hit_rate', 0.0):.0%} hit rate), "
+                f"{cache.get('seconds_saved', 0.0):.2f}s saved"
+            )
+        if cache.get("checkpoint_replayed"):
+            pieces.append(f"{cache['checkpoint_replayed']} replayed from checkpoint")
+        if cache.get("promoted") is not None:
+            pieces.append(f"{cache['promoted']} promoted into the cache")
+        if pieces:
+            lines.append("cache: " + ", ".join(pieces))
+    return "\n".join(lines)
 
 
 def write_scenario_suite(result: Mapping[str, object], path: str) -> str:
@@ -576,7 +967,9 @@ def scenario_cell_metrics(record: Mapping[str, object]) -> Dict[str, Dict[str, o
     rows: Dict[str, Dict[str, object]] = {}
     for name, scenario_record in record["scenarios"].items():
         for cell in scenario_record["cells"]:
-            key = f"{name}|severity={cell['severity']:g}|method={cell['method']}"
+            # repr round-trips exactly; the historical %g formatting could
+            # collide two severities differing past 6 significant digits.
+            key = f"{name}|severity={float(cell['severity'])!r}|method={cell['method']}"
             rows[key] = {
                 field_name: value
                 for field_name, value in cell.items()

@@ -138,6 +138,76 @@ class TestCommands:
                 "--checkpoint", str(tmp_path / "grid.jsonl"),
             ])
 
+    def test_scenarios_cache_flags_parse(self):
+        args = build_parser().parse_args(
+            ["scenarios", "--cache-dir", ".cache", "--shard", "2/4"]
+        )
+        assert args.cache_dir == ".cache"
+        assert args.shard == (2, 4)
+
+    def test_scenarios_bad_shard_is_a_clean_error(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios", "--shard", "5/2"])
+        assert "1 <= K <= N" in capsys.readouterr().err
+
+    def test_scenarios_shard_requires_cache_or_checkpoint(self):
+        with pytest.raises(SystemExit, match="cache-dir"):
+            main(["scenarios", "--smoke", "--scenario", "overlap", "--shard", "1/2"])
+
+    def test_scenarios_cache_warm_run_serves_from_cache(self, capsys, tmp_path):
+        import json
+
+        cache_dir = str(tmp_path / "cache")
+        output = str(tmp_path / "scenarios.json")
+        base = [
+            "scenarios", "--smoke", "--scenario", "overlap",
+            "--num-samples", "120", "--cache-dir", cache_dir, "--output", output,
+        ]
+        assert main(base) == 0
+        cold = json.loads(open(output).read())
+        assert cold["cache"] == dict(cold["cache"], enabled=True, hits=0, misses=4)
+        assert main(base) == 0
+        warm = json.loads(open(output).read())
+        assert warm["cache"] == dict(warm["cache"], hits=4, misses=0, hit_rate=1.0)
+        out = capsys.readouterr().out
+        assert "cache: 4 hits / 0 misses (100% hit rate)" in out
+        assert "stages:" in out
+        assert warm["scenarios"] == cold["scenarios"]
+
+    def test_scenarios_merge_roundtrip(self, capsys, tmp_path):
+        import json
+
+        output = str(tmp_path / "record.json")
+        base = ["scenarios", "--smoke", "--scenario", "overlap", "--num-samples", "120"]
+        assert main(base + ["--output", output]) == 0
+        unsharded = json.loads(open(output).read())
+
+        checkpoints = []
+        for index in (1, 2):
+            checkpoint = str(tmp_path / f"shard{index}.jsonl")
+            checkpoints.append(checkpoint)
+            assert main(base + ["--shard", f"{index}/2", "--checkpoint", checkpoint]) == 0
+
+        merged_output = str(tmp_path / "merged.json")
+        assert main(
+            ["scenarios-merge", *checkpoints, "--output", merged_output]
+        ) == 0
+        merged = json.loads(open(merged_output).read())
+        from repro.experiments.scenario_suite import compare_scenario_records
+
+        assert compare_scenario_records(unsharded, merged) == []
+        assert merged["suite"]["merged_from"] == checkpoints
+
+    def test_scenarios_merge_incomplete_shards_exit_2(self, capsys, tmp_path):
+        checkpoint = str(tmp_path / "shard1.jsonl")
+        assert main([
+            "scenarios", "--smoke", "--scenario", "overlap", "--num-samples", "120",
+            "--shard", "1/2", "--checkpoint", checkpoint,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["scenarios-merge", checkpoint]) == 2
+        assert "missing" in capsys.readouterr().err
+
     def test_scenarios_fully_failed_grid_exits_nonzero(self, capsys):
         from repro.registry import scenarios as scenario_registry
         from repro.scenarios import Scenario

@@ -258,6 +258,43 @@ class TestCheckpointResume:
         with pytest.raises(CheckpointError, match="not a scenario-scheduler"):
             run_scenario_suite(suite_config(scheduler_config, checkpoint=checkpoint))
 
+    def test_old_format_checkpoint_gets_migration_error(
+        self, scheduler_config, tmp_path
+    ):
+        # Format-1 files used %g severity keys (lossy past 6 significant
+        # digits); resuming one silently would mis-key units, so the error
+        # must name the migration rather than a generic mismatch.
+        checkpoint = str(tmp_path / "grid.jsonl")
+        with open(checkpoint, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(
+                    {"kind": "scenario-scheduler-checkpoint", "fingerprint": "abc"}
+                )
+                + "\n"
+            )
+        with pytest.raises(CheckpointError, match="checkpoint format"):
+            run_scenario_suite(suite_config(scheduler_config, checkpoint=checkpoint))
+
+    def test_shard_checkpoint_refuses_other_shard(self, scheduler_config, tmp_path):
+        checkpoint = str(tmp_path / "shard.jsonl")
+        cache_dir = str(tmp_path / "cache")
+        run_scenario_suite(
+            suite_config(
+                scheduler_config, checkpoint=checkpoint, cache_dir=cache_dir, shard=(1, 2)
+            )
+        )
+        with pytest.raises(CheckpointError, match="shard"):
+            run_scenario_suite(
+                suite_config(
+                    scheduler_config,
+                    checkpoint=checkpoint,
+                    cache_dir=cache_dir,
+                    shard=(2, 2),
+                )
+            )
+        with pytest.raises(CheckpointError, match="shard"):
+            run_scenario_suite(suite_config(scheduler_config, checkpoint=checkpoint))
+
 
 class _ExplodingScenario(Scenario):
     """Builds fine at severity 0 and raises beyond it."""
