@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Generate docs/cli.md from the actual ``repro`` argparse tree.
+
+The reference is *derived*, never hand-written: this script walks
+``repro.cli.build_parser()`` and renders one section per subcommand with
+its help text and every argument's flags, metavar, default and help.
+``tests/test_docs.py`` regenerates the page and fails if the committed
+``docs/cli.md`` is out of sync, so the docs cannot drift from the parser.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/gen_cli_reference.py          # rewrite docs/cli.md
+    PYTHONPATH=src python scripts/gen_cli_reference.py --check  # exit 1 if stale
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+_ROOT = os.path.abspath(os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir))
+_SRC = os.path.join(_ROOT, "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.cli import build_parser  # noqa: E402
+
+HEADER = """# CLI reference
+
+<!-- GENERATED FILE - DO NOT EDIT.
+     Regenerate with: PYTHONPATH=src python scripts/gen_cli_reference.py -->
+
+The `repro` command (or `PYTHONPATH=src python -m repro.cli` from a
+checkout). Every section below is generated from the live argparse tree,
+so flags and defaults here are exactly what the installed CLI accepts.
+"""
+
+
+def _format_default(action: argparse.Action) -> str:
+    if action.default is None or action.default is argparse.SUPPRESS:
+        return ""
+    if isinstance(action.default, bool):
+        return ""  # store_true/store_false flags carry no useful default text
+    if isinstance(action.default, (list, tuple)):
+        rendered = " ".join(str(item) for item in action.default)
+    else:
+        rendered = str(action.default)
+    return f" (default: `{rendered}`)"
+
+
+def _format_action(action: argparse.Action) -> str:
+    if action.option_strings:
+        name = ", ".join(f"`{option}`" for option in action.option_strings)
+        if action.metavar:
+            name += f" `{action.metavar}`"
+        elif not isinstance(
+            action, (argparse._StoreTrueAction, argparse._StoreFalseAction)
+        ) and action.nargs != 0:
+            name += f" `{action.dest.upper()}`"
+    else:
+        name = f"`{action.metavar or action.dest}`"
+    line = f"- {name}"
+    if action.choices is not None:
+        line += " — one of " + ", ".join(f"`{choice}`" for choice in action.choices)
+        if action.help:
+            line += f"; {action.help}"
+    elif action.help:
+        line += f" — {action.help}"
+    line += _format_default(action)
+    return line
+
+
+def _subcommands(parser: argparse.ArgumentParser):
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            helps = {
+                choice.dest: choice.help for choice in action._choices_actions
+            }
+            for name, subparser in action.choices.items():
+                yield name, helps.get(name, ""), subparser
+
+
+def render() -> str:
+    parser = build_parser()
+    lines = [HEADER]
+    commands = list(_subcommands(parser))
+    lines.append("## Commands\n")
+    for name, help_text, _ in commands:
+        lines.append(f"- [`repro {name}`](#repro-{name}) — {help_text}")
+    lines.append("")
+    for name, help_text, subparser in commands:
+        lines.append(f"## `repro {name}`\n")
+        if help_text:
+            lines.append(f"{help_text}\n")
+        arguments = [
+            action
+            for action in subparser._actions
+            if not isinstance(action, argparse._HelpAction)
+        ]
+        if arguments:
+            lines.extend(_format_action(action) for action in arguments)
+        else:
+            lines.append("No arguments.")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true", help="exit 1 if docs/cli.md is out of date"
+    )
+    parser.add_argument(
+        "--output", default=os.path.join(_ROOT, "docs", "cli.md"), help="target file"
+    )
+    args = parser.parse_args(argv)
+    rendered = render()
+    if args.check:
+        try:
+            with open(args.output) as handle:
+                committed = handle.read()
+        except FileNotFoundError:
+            committed = ""
+        if committed != rendered:
+            print(f"{args.output} is out of date; regenerate with "
+                  "PYTHONPATH=src python scripts/gen_cli_reference.py")
+            return 1
+        print(f"{args.output} is in sync with repro.cli.build_parser()")
+        return 0
+    os.makedirs(os.path.dirname(args.output), exist_ok=True)
+    with open(args.output, "w") as handle:
+        handle.write(rendered)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Docstring lint: every public API surface in ``src/repro`` must be documented.
+
+Pure-stdlib (``ast``) so CI needs no extra dependency. The rules:
+
+* every module has a docstring,
+* every public class, function and method (name not starting with ``_``)
+  has a docstring,
+* docstrings start with a non-empty summary line.
+
+``__init__`` methods and private names are exempt (the class docstring
+covers construction), as are ``@overload`` stubs and trivial property
+setters. Run from the repository root::
+
+    python scripts/lint_docstrings.py            # lint src/repro
+    python scripts/lint_docstrings.py tests      # lint another tree
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+
+_ROOT = os.path.abspath(os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir))
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _decorator_names(node: ast.AST) -> list:
+    names = []
+    for decorator in getattr(node, "decorator_list", []):
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Attribute):
+            names.append(target.attr)
+        elif isinstance(target, ast.Name):
+            names.append(target.id)
+    return names
+
+
+def _check_docstring(node, path: str, label: str, problems: list) -> None:
+    docstring = ast.get_docstring(node)
+    if docstring is None:
+        problems.append(f"{path}:{getattr(node, 'lineno', 1)}: {label} has no docstring")
+    elif not docstring.strip().splitlines()[0].strip():
+        problems.append(
+            f"{path}:{node.lineno}: {label} docstring starts with a blank line"
+        )
+
+
+def _walk_body(body, path: str, prefix: str, problems: list) -> None:
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not _is_public(node.name):
+                continue
+            decorators = _decorator_names(node)
+            if "overload" in decorators or f"{node.name}.setter" in decorators:
+                continue
+            if "setter" in decorators or "deleter" in decorators:
+                continue
+            _check_docstring(node, path, f"function `{prefix}{node.name}`", problems)
+        elif isinstance(node, ast.ClassDef):
+            if not _is_public(node.name):
+                continue
+            _check_docstring(node, path, f"class `{prefix}{node.name}`", problems)
+            _walk_body(node.body, path, f"{prefix}{node.name}.", problems)
+
+
+def lint_file(path: str) -> list:
+    """Return a list of problem strings for one Python file."""
+    with open(path, "rb") as handle:
+        source = handle.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [f"{path}:{error.lineno}: syntax error: {error.msg}"]
+    problems: list = []
+    _check_docstring(tree, path, "module", problems)
+    _walk_body(tree.body, path, "", problems)
+    return problems
+
+
+def lint_tree(root: str) -> list:
+    """Lint every ``.py`` file under ``root``, sorted for stable output."""
+    problems: list = []
+    for directory, _, files in sorted(os.walk(root)):
+        for name in sorted(files):
+            if name.endswith(".py"):
+                problems.extend(lint_file(os.path.join(directory, name)))
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "roots",
+        nargs="*",
+        default=[os.path.join(_ROOT, "src", "repro")],
+        help="directories to lint (default: src/repro)",
+    )
+    args = parser.parse_args(argv)
+    problems: list = []
+    checked = 0
+    for root in args.roots:
+        if not os.path.isdir(root):
+            print(f"not a directory: {root}")
+            return 2
+        for directory, _, files in os.walk(root):
+            checked += sum(1 for name in files if name.endswith(".py"))
+        problems.extend(lint_tree(root))
+    for problem in problems:
+        print(problem)
+    status = "FAIL" if problems else "ok"
+    print(f"docstring lint: {checked} files, {len(problems)} problem(s) [{status}]")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,11 +53,13 @@ class SLearner(_BaselineEstimator):
         self.model = RidgeRegression(alpha=alpha)
 
     def fit(self, dataset: CausalDataset) -> "SLearner":
+        """Fit one ridge model on covariates plus the treatment indicator."""
         features = np.column_stack([dataset.covariates, dataset.treatment])
         self.model.fit(features, dataset.outcome)
         return self
 
     def predict_potential_outcomes(self, covariates: np.ndarray) -> Dict[str, np.ndarray]:
+        """Counterfactual predictions obtained by toggling the treatment column."""
         covariates = np.asarray(covariates, dtype=np.float64)
         zeros = np.zeros(len(covariates))
         ones = np.ones(len(covariates))
@@ -74,6 +76,7 @@ class TLearner(_BaselineEstimator):
         self.model_treated = RidgeRegression(alpha=alpha)
 
     def fit(self, dataset: CausalDataset) -> "TLearner":
+        """Fit one ridge model per treatment arm."""
         treated = dataset.treated_mask
         control = dataset.control_mask
         if treated.sum() == 0 or control.sum() == 0:
@@ -83,6 +86,7 @@ class TLearner(_BaselineEstimator):
         return self
 
     def predict_potential_outcomes(self, covariates: np.ndarray) -> Dict[str, np.ndarray]:
+        """Predict each arm's outcome from its own model."""
         covariates = np.asarray(covariates, dtype=np.float64)
         mu0 = self.model_control.predict(covariates)
         mu1 = self.model_treated.predict(covariates)
@@ -108,6 +112,7 @@ class IPWEstimator(_BaselineEstimator):
         self.propensities_: Optional[np.ndarray] = None
 
     def fit(self, dataset: CausalDataset) -> "IPWEstimator":
+        """Fit the propensity model, then one weighted ridge model per arm."""
         self.propensity_model.fit(dataset.covariates, dataset.treatment)
         propensity = np.clip(
             self.propensity_model.predict_proba(dataset.covariates), self.clip, 1.0 - self.clip
@@ -128,6 +133,7 @@ class IPWEstimator(_BaselineEstimator):
         return self
 
     def predict_potential_outcomes(self, covariates: np.ndarray) -> Dict[str, np.ndarray]:
+        """Predict each arm's outcome from its weighted model."""
         covariates = np.asarray(covariates, dtype=np.float64)
         mu0 = self.model_control.predict(covariates)
         mu1 = self.model_treated.predict(covariates)

@@ -27,6 +27,7 @@ class RidgeRegression:
         self.intercept: float = 0.0
 
     def fit(self, features: np.ndarray, targets: np.ndarray, sample_weight: Optional[np.ndarray] = None) -> "RidgeRegression":
+        """Closed-form (optionally weighted) ridge fit; returns self."""
         features = np.asarray(features, dtype=np.float64)
         targets = np.asarray(targets, dtype=np.float64).ravel()
         if len(features) != len(targets):
@@ -52,6 +53,7 @@ class RidgeRegression:
         return self
 
     def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for ``features``."""
         if self.coefficients is None:
             raise RuntimeError("model must be fit before prediction")
         features = np.asarray(features, dtype=np.float64)
@@ -70,6 +72,7 @@ class LogisticRegression:
         self.coefficients: Optional[np.ndarray] = None
 
     def fit(self, features: np.ndarray, targets: np.ndarray) -> "LogisticRegression":
+        """Fit the regularised logistic model on binary ``targets``."""
         features = np.asarray(features, dtype=np.float64)
         targets = np.asarray(targets, dtype=np.float64).ravel()
         design = np.column_stack([np.ones(len(features)), features])
@@ -88,6 +91,7 @@ class LogisticRegression:
         return self
 
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Probability of the positive class per row."""
         if self.coefficients is None:
             raise RuntimeError("model must be fit before prediction")
         features = np.asarray(features, dtype=np.float64)
@@ -96,4 +100,5 @@ class LogisticRegression:
         return 1.0 / (1.0 + np.exp(-np.clip(logits, -35, 35)))
 
     def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Hard labels at the given probability ``threshold``."""
         return (self.predict_proba(features) >= threshold).astype(np.float64)

@@ -171,6 +171,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="write the JSON record to this path"
     )
 
+    online_bench = subparsers.add_parser(
+        "online-bench",
+        help="benchmark drift-aware online serving: detection, warm refit, rollback",
+    )
+    online_bench.add_argument("--smoke", action="store_true", help="tens-of-seconds run (CI mode)")
+    online_bench.add_argument("--num-samples", type=int, default=None, help="default: 1200 (600 with --smoke)")
+    online_bench.add_argument("--steps", type=int, default=None, help="stream length in batches (default: 24; 16 with --smoke)")
+    online_bench.add_argument("--batch-rows", type=int, default=None, help="rows per stream batch (default: 192; 128 with --smoke)")
+    online_bench.add_argument("--refit-epochs", type=int, default=None, help="warm-refit epoch budget (default: 40; 20 with --smoke)")
+    online_bench.add_argument("--seed", type=int, default=2024)
+    online_bench.add_argument("--output", default=None, help="write the JSON record to this path")
+    online_bench.add_argument(
+        "--check-against", default=None, metavar="BASELINE_JSON",
+        help="fail on a >2x refit-latency regression against this committed record",
+    )
+
     scenarios = subparsers.add_parser(
         "scenarios",
         help="run the scenario-matrix stress test (scenario x severity x method)",
@@ -431,6 +447,54 @@ def _command_serve_bench_sustained(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _command_online_bench(args: argparse.Namespace) -> int:
+    from .experiments.online_benchmark import (
+        benchmark_online,
+        format_online_benchmark,
+        write_benchmark,
+    )
+
+    result = benchmark_online(
+        smoke=args.smoke,
+        num_samples=args.num_samples,
+        num_steps=args.steps,
+        batch_rows=args.batch_rows,
+        refit_epochs=args.refit_epochs,
+        seed=args.seed,
+    )
+    print(format_online_benchmark(result))
+    if args.output is not None:
+        print(f"wrote {write_benchmark(result, args.output)}")
+    failures = 0
+    if not result["gates"]["all_passed"]:
+        print("FAIL: one or more online-serving acceptance gates failed")
+        failures += 1
+    if args.check_against is not None:
+        from .experiments.perf_gate import check_perf_regression
+
+        failures += check_perf_regression(
+            result,
+            args.check_against,
+            (
+                (
+                    "warm refit seconds",
+                    lambda record: next(
+                        entry["warm_seconds"]
+                        for entry in record["tradeoff"]["curve"]
+                        if entry["epochs"] == record["config"]["refit_epochs"]
+                    ),
+                    "warm_refit_seconds",
+                ),
+                (
+                    "cold refit seconds",
+                    lambda record: record["tradeoff"]["cold_seconds"],
+                    "cold_refit_seconds",
+                ),
+            ),
+        )
+    return 1 if failures else 0
+
+
 def _command_serve_bench(args: argparse.Namespace) -> int:
     if args.sustained:
         return _command_serve_bench_sustained(args)
@@ -595,6 +659,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "save": _command_save,
     "predict": _command_predict,
     "serve-bench": _command_serve_bench,
+    "online-bench": _command_online_bench,
     "train-bench": _command_train_bench,
     "bench-autodiff": _command_bench_autodiff,
     "scenarios": _command_scenarios,

@@ -135,6 +135,7 @@ class BaseBackbone(Module):
     # Interface
     # ------------------------------------------------------------------ #
     def forward(self, covariates, treatment: np.ndarray) -> BackboneForward:  # pragma: no cover
+        """Compute one forward pass (abstract; see TARNet for the contract)."""
         raise NotImplementedError
 
     def network_loss(

@@ -35,6 +35,7 @@ class CFR(TARNet):
         treatment: np.ndarray,
         sample_weights: Optional[Tensor] = None,
     ) -> Tensor:
+        """IPM balance penalty between treated and control representations."""
         alpha = self.regularizers.alpha
         if alpha == 0.0:
             return as_tensor(0.0)

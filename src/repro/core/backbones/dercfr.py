@@ -117,6 +117,7 @@ class DeRCFR(BaseBackbone):
 
     # ------------------------------------------------------------------ #
     def forward(self, covariates, treatment: np.ndarray) -> BackboneForward:
+        """Three-stream forward: instrument, confounder and adjustment blocks."""
         covariates = as_tensor(covariates)
         rep_i, hidden_i = self.instrument_net.forward_with_hidden(covariates)
         rep_c, hidden_c = self.confounder_net.forward_with_hidden(covariates)
@@ -154,6 +155,7 @@ class DeRCFR(BaseBackbone):
         treatment: np.ndarray,
         sample_weights: Optional[Tensor] = None,
     ) -> Tensor:
+        """Decomposition penalties over the three representation blocks."""
         treatment = np.asarray(treatment, dtype=np.float64).ravel()
         treated_idx = np.where(treatment == 1.0)[0]
         control_idx = np.where(treatment == 0.0)[0]

@@ -51,6 +51,7 @@ class TARNet(BaseBackbone):
         )
 
     def forward(self, covariates, treatment: np.ndarray) -> BackboneForward:
+        """Shared representation, then the per-arm outcome heads."""
         covariates = as_tensor(covariates)
         representation, rep_hidden = self.representation.forward_with_hidden(covariates)
         mu0, mu1, last0, last1, head_hidden = self.predictor(representation)

@@ -46,14 +46,17 @@ class BackboneConfig:
 
     @property
     def rep_hidden_sizes(self) -> Tuple[int, ...]:
+        """Representation MLP widths (``rep_units`` repeated ``rep_layers`` times)."""
         return tuple([self.rep_units] * self.rep_layers)
 
     @property
     def head_hidden_sizes(self) -> Tuple[int, ...]:
+        """Outcome-head MLP widths (``head_units`` repeated ``head_layers`` times)."""
         return tuple([self.head_units] * self.head_layers)
 
     @property
     def treatment_hidden_sizes(self) -> Tuple[int, ...]:
+        """Treatment-head MLP widths."""
         return tuple([self.treatment_units] * self.treatment_layers)
 
 

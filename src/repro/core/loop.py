@@ -69,15 +69,18 @@ class Callback:
     """Base class for training-loop observers; all hooks default to no-ops."""
 
     def on_train_begin(self, loop: "TrainingLoop") -> None:
+        """Hook called once before the first iteration."""
         pass
 
     def on_evaluation(self, loop: "TrainingLoop", record: IterationRecord) -> None:
         """Called on the evaluation cadence, after ``validation_loss`` is set."""
 
     def on_iteration_end(self, loop: "TrainingLoop", record: IterationRecord) -> None:
+        """Hook called after every iteration."""
         pass
 
     def on_train_end(self, loop: "TrainingLoop") -> None:
+        """Hook called once after training finishes."""
         pass
 
 
@@ -85,6 +88,7 @@ class HistoryRecorder(Callback):
     """Appends the scalar traces to the trainer's :class:`TrainingHistory`."""
 
     def on_evaluation(self, loop: "TrainingLoop", record: IterationRecord) -> None:
+        """Append the evaluation record to the loop history."""
         history = loop.history
         history.iterations.append(record.iteration)
         history.network_loss.append(record.network_loss)
@@ -99,6 +103,7 @@ class VerboseLogger(Callback):
         self.label = label
 
     def on_evaluation(self, loop: "TrainingLoop", record: IterationRecord) -> None:
+        """Print one progress line for this evaluation."""
         replay_state = "replay" if record.replay_hit else "eager"
         lr_part = f"lr={record.lr:.2e} " if record.lr is not None else ""
         print(
@@ -135,6 +140,7 @@ class BestStateCheckpoint(Callback):
         self._pending = False
 
     def on_evaluation(self, loop: "TrainingLoop", record: IterationRecord) -> None:
+        """Snapshot (or schedule) the best state when validation improves."""
         if record.validation_loss is not None and record.validation_loss < self.best_loss - self.margin:
             self.best_loss = record.validation_loss
             if self.state_provider is None:
@@ -145,11 +151,13 @@ class BestStateCheckpoint(Callback):
             record.improved = True
 
     def on_iteration_end(self, loop: "TrainingLoop", record: IterationRecord) -> None:
+        """Take a deferred provider snapshot after the iteration's updates."""
         if self._pending:
             self.best_state = self.state_provider()
             self._pending = False
 
     def on_train_end(self, loop: "TrainingLoop") -> None:
+        """Restore the best recorded state into the backbone."""
         if self._pending:  # stopped before the deferred snapshot ran
             self.best_state = self.state_provider()
             self._pending = False
@@ -188,6 +196,7 @@ class EMACallback(Callback):
         self._scratch = {name: np.empty_like(param.data) for name, param in self._params}
 
     def on_train_begin(self, loop: "TrainingLoop") -> None:
+        """Attach the shadow parameters to the loop's backbone."""
         self.attach(loop.trainer.backbone)
 
     def update(self) -> None:
@@ -203,6 +212,7 @@ class EMACallback(Callback):
             np.add(shadow, scratch, out=shadow)
 
     def on_iteration_end(self, loop: "TrainingLoop", record: IterationRecord) -> None:
+        """Advance the moving average after the optimiser step."""
         self.update()
 
     def state_dict(self) -> Dict[str, np.ndarray]:
@@ -230,9 +240,11 @@ class EarlyStopping(Callback):
         self.patience_left = patience
 
     def on_train_begin(self, loop: "TrainingLoop") -> None:
+        """Reset the patience counter."""
         self.patience_left = self.patience
 
     def on_evaluation(self, loop: "TrainingLoop", record: IterationRecord) -> None:
+        """Count down patience; request a stop when it is exhausted."""
         if record.improved:
             self.patience_left = self.patience
         elif self.patience is not None:
@@ -265,6 +277,7 @@ class TrainingLoop:
 
     @property
     def full_batch(self) -> bool:
+        """Whether the loader yields the full dataset every iteration."""
         return self.loader.sampler is None
 
     def run(self):

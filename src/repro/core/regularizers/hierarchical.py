@@ -42,6 +42,7 @@ class WeightLossBreakdown:
 
     @property
     def total(self) -> float:
+        """Sum of every penalty component."""
         return (
             self.balance
             + self.independence_last

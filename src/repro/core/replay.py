@@ -67,6 +67,7 @@ class NetworkStepReplay:
         outcome: np.ndarray,
         indices: Optional[np.ndarray],
     ) -> float:
+        """Execute one training step through the record/replay cache."""
         trainer = self.trainer
         if not self.enabled or _TAPE.recorder is not None:
             return self._eager_step(covariates, treatment, outcome, indices)

@@ -93,6 +93,7 @@ class FrameworkSpec:
         use_independence: bool = True,
         use_hierarchy: bool = True,
     ):
+        """Build the framework's weight objective (``None`` for unweighted)."""
         if not self.uses_weights or self.weight_objective_factory is None:
             return None
         return self.weight_objective_factory(config, use_balance, use_independence, use_hierarchy)
@@ -183,6 +184,7 @@ class TrainingHistory:
     best_iteration: int = 0
 
     def as_dict(self) -> Dict[str, list]:
+        """JSON-friendly view of the history."""
         return {
             "iterations": list(self.iterations),
             "network_loss": list(self.network_loss),

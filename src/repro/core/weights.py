@@ -94,6 +94,7 @@ class SampleWeights:
                 np.clip(self.values.data, self.clip[0], self.clip[1], out=self.values.data)
 
     def zero_grad(self) -> None:
+        """Clear the weight vector's gradient."""
         self.values.zero_grad()
 
     def reset(self) -> None:

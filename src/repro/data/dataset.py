@@ -82,14 +82,17 @@ class CausalDataset:
 
     @property
     def num_features(self) -> int:
+        """Number of covariate columns."""
         return self.covariates.shape[1]
 
     @property
     def num_treated(self) -> int:
+        """Number of treated units."""
         return int(self.treatment.sum())
 
     @property
     def num_control(self) -> int:
+        """Number of control units."""
         return len(self) - self.num_treated
 
     @property
@@ -104,10 +107,12 @@ class CausalDataset:
 
     @property
     def treated_mask(self) -> np.ndarray:
+        """Boolean mask of treated rows."""
         return self.treatment == 1.0
 
     @property
     def control_mask(self) -> np.ndarray:
+        """Boolean mask of control rows."""
         return self.treatment == 0.0
 
     # ------------------------------------------------------------------ #
@@ -201,4 +206,5 @@ class TrainValTestSplit:
         return iter((self.train, self.validation, self.test))
 
     def sizes(self) -> Tuple[int, int, int]:
+        """Row counts as ``(train, validation, test)``."""
         return len(self.train), len(self.validation), len(self.test)

@@ -79,6 +79,7 @@ class IHDPReplication:
     replication: int
 
     def as_split(self) -> TrainValTestSplit:
+        """View as a plain ``TrainValTestSplit``."""
         return TrainValTestSplit(train=self.train, validation=self.validation, test=self.test)
 
 

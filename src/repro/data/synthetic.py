@@ -70,12 +70,14 @@ class SyntheticConfig:
 
     @property
     def num_features(self) -> int:
+        """Total covariate width across all four blocks."""
         return (
             self.num_instruments + self.num_confounders + self.num_adjustments + self.num_unstable
         )
 
     @property
     def name(self) -> str:
+        """Canonical ``Syn_mI_mC_mA_mV`` benchmark name."""
         return (
             f"Syn_{self.num_instruments}_{self.num_confounders}"
             f"_{self.num_adjustments}_{self.num_unstable}"

@@ -71,6 +71,7 @@ class TwinsReplication:
     replication: int
 
     def as_split(self) -> TrainValTestSplit:
+        """View as a plain ``TrainValTestSplit``."""
         return TrainValTestSplit(train=self.train, validation=self.validation, test=self.test)
 
 

@@ -6,6 +6,7 @@ population) plus practical checks on the learned sample weights.
 """
 
 from .ood import (
+    INSUFFICIENT_WINDOW,
     OODReport,
     assess_ood_level,
     domain_classifier_auc,
@@ -15,6 +16,7 @@ from .ood import (
 from .weights import balance_improvement, weight_summary, weighted_correlation_report
 
 __all__ = [
+    "INSUFFICIENT_WINDOW",
     "OODReport",
     "assess_ood_level",
     "domain_classifier_auc",

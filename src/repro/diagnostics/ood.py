@@ -28,12 +28,18 @@ from ..baselines.ridge import LogisticRegression
 from ..data.dataset import CausalDataset
 
 __all__ = [
+    "INSUFFICIENT_WINDOW",
     "domain_classifier_auc",
     "moment_shift_score",
     "representation_shift",
     "OODReport",
     "assess_ood_level",
 ]
+
+#: Severity grade of an :class:`OODReport` whose window was too small to
+#: measure — the sentinel the sliding-window drift monitor keys on to keep
+#: streaming instead of dying on a half-filled window.
+INSUFFICIENT_WINDOW = "insufficient-window"
 
 
 def _auc(scores: np.ndarray, labels: np.ndarray) -> float:
@@ -74,19 +80,39 @@ def domain_classifier_auc(
     target: np.ndarray,
     max_samples: int = 2000,
     seed: int = 0,
+    min_rows: int = 1,
+    on_insufficient: str = "raise",
 ) -> float:
     """AUC of a logistic domain classifier separating source from target rows.
 
     A value close to 0.5 means the two covariate distributions overlap; a
     value close to 1.0 means a linear classifier can tell them apart, i.e.
     the target population is strongly out of distribution.
+
+    A window with fewer than ``min_rows`` rows on either side cannot support
+    the measurement (with an empty side, the domain labels collapse to a
+    single class and the AUC is undefined).  ``on_insufficient`` selects what
+    happens then: ``"raise"`` (the default, matching the historical
+    behaviour) raises ``ValueError``; ``"nan"`` returns ``float("nan")`` so
+    streaming callers — the sliding-window drift monitor — degrade
+    gracefully instead of killing the stream.
     """
+    if on_insufficient not in ("raise", "nan"):
+        raise ValueError(f"on_insufficient must be 'raise' or 'nan', got {on_insufficient!r}")
     source = np.asarray(source, dtype=np.float64)
     target = np.asarray(target, dtype=np.float64)
     if source.ndim != 2 or target.ndim != 2 or source.shape[1] != target.shape[1]:
         raise ValueError("source and target must be 2-D arrays with the same feature dimension")
-    if len(source) == 0 or len(target) == 0:
-        raise ValueError("source and target must each contain at least one row")
+    floor = max(min_rows, 1)
+    if len(source) < floor or len(target) < floor:
+        if on_insufficient == "nan":
+            return float("nan")
+        if floor == 1:
+            raise ValueError("source and target must each contain at least one row")
+        raise ValueError(
+            f"source and target must each contain at least {floor} rows "
+            f"(got {len(source)} and {len(target)})"
+        )
     rng = np.random.default_rng(seed)
     if len(source) > max_samples:
         source = source[rng.choice(len(source), size=max_samples, replace=False)]
@@ -105,13 +131,30 @@ def domain_classifier_auc(
     return float(max(auc, 1.0 - auc))
 
 
-def moment_shift_score(source: np.ndarray, target: np.ndarray) -> Dict[str, object]:
-    """Per-feature and aggregate first/second-moment shift between populations."""
+def moment_shift_score(
+    source: np.ndarray,
+    target: np.ndarray,
+    on_insufficient: str = "raise",
+) -> Dict[str, object]:
+    """Per-feature and aggregate first/second-moment shift between populations.
+
+    ``on_insufficient="nan"`` returns a NaN-aggregate record instead of
+    raising when either population is empty (see
+    :func:`domain_classifier_auc` for the rationale).
+    """
+    if on_insufficient not in ("raise", "nan"):
+        raise ValueError(f"on_insufficient must be 'raise' or 'nan', got {on_insufficient!r}")
     source = np.asarray(source, dtype=np.float64)
     target = np.asarray(target, dtype=np.float64)
     if source.ndim != 2 or target.ndim != 2 or source.shape[1] != target.shape[1]:
         raise ValueError("source and target must be 2-D arrays with the same feature dimension")
     if len(source) == 0 or len(target) == 0:
+        if on_insufficient == "nan":
+            return {
+                "aggregate": float("nan"),
+                "per_feature": np.full(source.shape[1], np.nan),
+                "most_shifted_features": np.empty(0, dtype=int),
+            }
         raise ValueError("source and target must each contain at least one row")
     mean_s, mean_t = source.mean(axis=0), target.mean(axis=0)
     std_s, std_t = source.std(axis=0), target.std(axis=0)
@@ -154,6 +197,7 @@ class OODReport:
     most_shifted_features: np.ndarray
 
     def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly view of the report."""
         return {
             "domain_auc": self.domain_auc,
             "moment_score": self.moment_score,
@@ -166,6 +210,7 @@ def assess_ood_level(
     source: CausalDataset,
     target: CausalDataset,
     auc_thresholds: Sequence[float] = (0.60, 0.75, 0.90),
+    min_rows: int = 1,
 ) -> OODReport:
     """Grade how far ``target`` is from ``source``.
 
@@ -174,13 +219,26 @@ def assess_ood_level(
 
     * ``"in-distribution"``  — AUC below the first threshold,
     * ``"mild"`` / ``"moderate"`` / ``"severe"`` — AUC between successive
-      thresholds / above the last threshold.
+      thresholds / above the last threshold,
+    * :data:`INSUFFICIENT_WINDOW` — either population holds fewer than
+      ``min_rows`` rows, so nothing can be measured yet.  The report carries
+      NaN scores instead of raising, which is what lets a sliding-window
+      drift monitor keep streaming while its window fills.
     """
     if len(auc_thresholds) != 3 or not all(
         0.5 <= a < b for a, b in zip(auc_thresholds, auc_thresholds[1:])
     ):
         raise ValueError("auc_thresholds must be three increasing values in [0.5, 1)")
-    auc = domain_classifier_auc(source.covariates, target.covariates)
+    auc = domain_classifier_auc(
+        source.covariates, target.covariates, min_rows=min_rows, on_insufficient="nan"
+    )
+    if np.isnan(auc):
+        return OODReport(
+            domain_auc=float("nan"),
+            moment_score=float("nan"),
+            severity=INSUFFICIENT_WINDOW,
+            most_shifted_features=np.empty(0, dtype=int),
+        )
     moments = moment_shift_score(source.covariates, target.covariates)
     if auc < auc_thresholds[0]:
         severity = "in-distribution"

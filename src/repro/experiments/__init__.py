@@ -52,6 +52,7 @@ from .scheduler import (
 )
 from .search import SearchSpace, SearchTrial, random_search
 from .autodiff_benchmark import benchmark_autodiff
+from .online_benchmark import benchmark_online, format_online_benchmark
 from .perf_gate import check_perf_regression
 from .training_benchmark import benchmark_training
 from .tables import (
@@ -90,6 +91,8 @@ __all__ = [
     "default_version_tag",
     "benchmark_training",
     "benchmark_autodiff",
+    "benchmark_online",
+    "format_online_benchmark",
     "check_perf_regression",
     "default_method_grid",
     "TableResult",

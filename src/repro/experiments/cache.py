@@ -149,6 +149,7 @@ class ResultCache:
         return os.path.exists(self._path(key))
 
     def keys(self) -> Iterator[str]:
+        """Iterate stored cache keys in sorted order."""
         for name in sorted(os.listdir(self.root)):
             if name.endswith(".json"):
                 yield name[: -len(".json")]

@@ -54,6 +54,7 @@ class MethodSpec:
 
     @property
     def name(self) -> str:
+        """Display label (registry display names unless ``label`` overrides)."""
         if self.label is not None:
             return self.label
         # Resolve the display names through the registries so backbones and
@@ -66,6 +67,7 @@ class MethodSpec:
         return f"{backbone}+{framework_spec.display_name}"
 
     def build(self) -> HTEEstimator:
+        """Construct the estimator this spec describes."""
         return HTEEstimator(
             backbone=self.backbone,
             framework=self.framework,
@@ -93,6 +95,7 @@ class MethodResult:
 
     @property
     def name(self) -> str:
+        """The spec's display label."""
         return self.spec.name
 
     def metric(self, environment: str, key: str) -> float:

@@ -124,6 +124,7 @@ class ScenarioSuiteConfig:
     shard: Optional[Tuple[int, int]] = None
 
     def resolved_scenarios(self) -> List[str]:
+        """Scenario names to run (every registered scenario when unset)."""
         if self.scenario_names is None:
             return available_scenarios()
         return [SCENARIO_REGISTRY.resolve(name) for name in self.scenario_names]
@@ -154,6 +155,7 @@ class ScenarioSuiteConfig:
         return "cross-cell" if resolve_n_jobs(self.n_jobs) > 1 else "per-cell"
 
     def resolved_methods(self, seed: int) -> List[MethodSpec]:
+        """Method grid to run (the default grid when unset)."""
         if self.methods is not None:
             return list(self.methods)
         config = experiment_config(get_scale(self.scale), seed=seed)
@@ -229,6 +231,7 @@ class ScenarioCellResult:
     error: Optional[str] = None
 
     def as_dict(self) -> Dict[str, object]:
+        """JSON-safe view of the cell (NaN metrics become null)."""
         def clean(value: float) -> Optional[float]:
             # Error rows carry NaN metrics in memory; emit JSON-safe nulls.
             return None if isinstance(value, float) and not math.isfinite(value) else value

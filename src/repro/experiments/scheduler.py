@@ -157,6 +157,7 @@ class UnitOutcome:
 
     @property
     def ok(self) -> bool:
+        """Whether the unit completed without error."""
         return self.error is None
 
 

@@ -119,10 +119,12 @@ class EffectEstimates:
 
     @property
     def true_ite(self) -> np.ndarray:
+        """True ITE, ``mu1_true - mu0_true``."""
         return self.mu1_true - self.mu0_true
 
     @property
     def predicted_ite(self) -> np.ndarray:
+        """Predicted ITE, ``mu1_pred - mu0_pred``."""
         return self.mu1_pred - self.mu0_pred
 
 

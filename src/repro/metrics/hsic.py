@@ -72,6 +72,7 @@ class RandomFourierFeatures:
 
     @property
     def num_features(self) -> int:
+        """Number of random Fourier features."""
         return len(self.frequencies)
 
     def transform(self, values: np.ndarray) -> np.ndarray:

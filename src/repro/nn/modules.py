@@ -56,12 +56,14 @@ class Module:
         self._children: Dict[str, "Module"] = {}
 
     def register_parameter(self, name: str, tensor: Tensor) -> Tensor:
+        """Track ``tensor`` as a trainable parameter named ``name``."""
         tensor.requires_grad = True
         tensor.name = name
         self._parameters[name] = tensor
         return tensor
 
     def register_module(self, name: str, module: "Module") -> "Module":
+        """Track a child module under ``name``."""
         self._children[name] = module
         return module
 
@@ -128,6 +130,7 @@ class Module:
         return self.forward(*args, **kwargs)
 
     def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        """Compute the module's output (abstract)."""
         raise NotImplementedError
 
 
@@ -157,6 +160,7 @@ class Linear(Module):
             self.bias = None
 
     def forward(self, x: ArrayLike) -> Tensor:
+        """Affine map ``x @ weight + bias``."""
         return F.linear(x, self.weight, self.bias)
 
 
@@ -172,6 +176,7 @@ class Sequential(Module):
             self._order.append(name)
 
     def forward(self, x: ArrayLike) -> Tensor:
+        """Apply every layer in registration order."""
         out = as_tensor(x)
         for name in self._order:
             out = self._children[name](out)
@@ -235,6 +240,7 @@ class MLP(Module):
         self.output_dim = out_features if out_features is not None else previous
 
     def forward(self, x: ArrayLike) -> Tensor:
+        """Hidden stack plus the optional output layer."""
         out, _ = self.forward_with_hidden(x)
         return out
 
@@ -276,6 +282,7 @@ class RepresentationNetwork(Module):
         self.output_dim = self.mlp.output_dim
 
     def forward(self, x: ArrayLike) -> Tensor:
+        """Representation of ``x`` (optionally row-normalised)."""
         rep, _ = self.forward_with_hidden(x)
         return rep
 

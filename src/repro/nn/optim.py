@@ -203,6 +203,7 @@ class Optimizer:
         return self.schedule(self.step_count)
 
     def zero_grad(self) -> None:
+        """Clear every parameter's gradient."""
         for param in self.parameters:
             param.zero_grad()
 

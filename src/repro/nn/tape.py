@@ -988,6 +988,7 @@ class TapeRecorder:
 
     # -- hooks called from repro.nn.tensor ----------------------------------
     def record(self, out: Tensor, op: str, parents: Tuple[Tensor, ...], attrs=None) -> None:
+        """Hook: record one eager op into the program."""
         if self.aborted is not None:
             return
         fwd = _FORWARD.get(op)
@@ -1019,6 +1020,7 @@ class TapeRecorder:
         )
 
     def on_backward(self, tensor: Tensor, retain_graph: bool) -> None:
+        """Hook: note the backward root (rejects retain_graph / multi-backward)."""
         if self.aborted is not None:
             return
         if retain_graph:
@@ -1036,6 +1038,7 @@ class TapeRecorder:
         self._backward_root = tensor
 
     def register_provider(self, fn: Callable, result) -> None:
+        """Register arrays produced by ``fn`` as replay-time inputs."""
         outs = result if isinstance(result, tuple) else (result,)
         pidx = len(self.providers)
         self.providers.append(fn)
@@ -1236,6 +1239,7 @@ class ReplayProgram:
 
     @property
     def num_instructions(self) -> int:
+        """Instructions in the recorded program."""
         return len(self.instructions)
 
     def set_optimizer_params(self, params: Sequence[Tensor]) -> None:
@@ -1245,6 +1249,7 @@ class ReplayProgram:
         self.extra_params = [p for p in params if id(p) not in recorded]
 
     def run(self) -> float:
+        """Replay the recorded step; returns the loss value."""
         bufs = self._bufs
         for slot in self.param_slots:
             if slot.tensor.data is not slot.buffer:
@@ -1581,6 +1586,7 @@ class StackedProgram:
     # -- execution ----------------------------------------------------------
     @property
     def graph_nodes(self) -> int:
+        """Nodes in the base program's gradient subgraph."""
         return self._base.graph_nodes
 
     def _route_stacked(self, psid: int, g: np.ndarray, pending, received) -> None:
@@ -1604,6 +1610,7 @@ class StackedProgram:
         received[psid] = 1
 
     def run(self) -> np.ndarray:
+        """Replay the stacked step; returns the ``(K,)`` loss vector."""
         for tensor, buf in zip(self.params, self._param_bufs):
             if tensor.data is not buf:
                 raise TapeStale("a stacked parameter buffer was replaced since recording")

@@ -280,18 +280,22 @@ class Tensor:
     # ------------------------------------------------------------------ #
     @property
     def shape(self) -> Tuple[int, ...]:
+        """Shape of the underlying array."""
         return self.data.shape
 
     @property
     def ndim(self) -> int:
+        """Number of dimensions."""
         return self.data.ndim
 
     @property
     def size(self) -> int:
+        """Total number of elements."""
         return self.data.size
 
     @property
     def T(self) -> "Tensor":
+        """Transpose, ``self.transpose()``."""
         return self.transpose()
 
     def __len__(self) -> int:
@@ -541,6 +545,7 @@ class Tensor:
     # Reductions
     # ------------------------------------------------------------------ #
     def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (all elements when ``None``)."""
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(grad: np.ndarray, self_t=self, ax=axis, keep=keepdims) -> None:
@@ -556,6 +561,7 @@ class Tensor:
         return _tape_record(out, "sum", (self,), {"axis": axis, "keepdims": keepdims})
 
     def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        """Mean over ``axis``."""
         if axis is None:
             count = self.data.size
         elif isinstance(axis, tuple):
@@ -565,6 +571,7 @@ class Tensor:
         return self.sum(axis=axis, keepdims=keepdims) / float(count)
 
     def var(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        """Variance over ``axis`` (biased, ddof=0)."""
         centred = self - self.mean(axis=axis, keepdims=True)
         return (centred * centred).mean(axis=axis, keepdims=keepdims)
 
@@ -572,6 +579,7 @@ class Tensor:
     # Elementwise non-linearities
     # ------------------------------------------------------------------ #
     def exp(self) -> "Tensor":
+        """Elementwise ``e**x``."""
         out_data = np.exp(self.data)
 
         def backward(grad: np.ndarray, self_t=self) -> None:
@@ -581,6 +589,7 @@ class Tensor:
         return _tape_record(out, "exp", (self,))
 
     def log(self) -> "Tensor":
+        """Elementwise natural logarithm."""
         out_data = np.log(self.data)
 
         def backward(grad: np.ndarray, self_t=self) -> None:
@@ -590,6 +599,7 @@ class Tensor:
         return _tape_record(out, "log", (self,))
 
     def sqrt(self) -> "Tensor":
+        """Elementwise square root."""
         out_data = np.sqrt(self.data)
 
         def backward(grad: np.ndarray, self_t=self) -> None:
@@ -599,6 +609,7 @@ class Tensor:
         return _tape_record(out, "sqrt", (self,))
 
     def abs(self) -> "Tensor":
+        """Elementwise absolute value."""
         out_data = np.abs(self.data)
 
         def backward(grad: np.ndarray, self_t=self) -> None:
@@ -608,6 +619,7 @@ class Tensor:
         return _tape_record(out, "abs", (self,))
 
     def tanh(self) -> "Tensor":
+        """Elementwise hyperbolic tangent."""
         out_data = np.tanh(self.data)
 
         def backward(grad: np.ndarray, self_t=self) -> None:
@@ -617,6 +629,7 @@ class Tensor:
         return _tape_record(out, "tanh", (self,))
 
     def sigmoid(self) -> "Tensor":
+        """Elementwise logistic sigmoid (input clipped to +/-60)."""
         out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
 
         def backward(grad: np.ndarray, self_t=self) -> None:
@@ -626,6 +639,7 @@ class Tensor:
         return _tape_record(out, "sigmoid", (self,))
 
     def relu(self) -> "Tensor":
+        """Elementwise ``max(x, 0)``."""
         out_data = np.maximum(self.data, 0.0)
 
         def backward(grad: np.ndarray, self_t=self) -> None:
@@ -635,6 +649,7 @@ class Tensor:
         return _tape_record(out, "relu", (self,))
 
     def elu(self, alpha: float = 1.0) -> "Tensor":
+        """Elementwise ELU with slope ``alpha`` on the negative side."""
         positive = self.data > 0.0
         out_data = np.where(positive, self.data, alpha * (np.exp(np.minimum(self.data, 0.0)) - 1.0))
 
@@ -646,6 +661,7 @@ class Tensor:
         return _tape_record(out, "elu", (self,), {"alpha": float(alpha)})
 
     def softplus(self) -> "Tensor":
+        """Elementwise ``log(1 + e**x)``."""
         out_data = np.logaddexp(0.0, self.data)
 
         def backward(grad: np.ndarray, self_t=self) -> None:
@@ -656,6 +672,7 @@ class Tensor:
         return _tape_record(out, "softplus", (self,))
 
     def cos(self) -> "Tensor":
+        """Elementwise cosine."""
         out_data = np.cos(self.data)
 
         def backward(grad: np.ndarray, self_t=self) -> None:
@@ -665,6 +682,7 @@ class Tensor:
         return _tape_record(out, "cos", (self,))
 
     def sin(self) -> "Tensor":
+        """Elementwise sine."""
         out_data = np.sin(self.data)
 
         def backward(grad: np.ndarray, self_t=self) -> None:
@@ -674,6 +692,7 @@ class Tensor:
         return _tape_record(out, "sin", (self,))
 
     def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values to ``[low, high]`` (gradient is zero outside)."""
         out_data = np.clip(self.data, low, high)
 
         def backward(grad: np.ndarray, self_t=self, lo=low, hi=high) -> None:
@@ -684,6 +703,7 @@ class Tensor:
         return _tape_record(out, "clip", (self,), {"low": low, "high": high})
 
     def maximum(self, other: ArrayLike) -> "Tensor":
+        """Elementwise maximum with ``other``."""
         other_t = as_tensor(other)
         out_data = np.maximum(self.data, other_t.data)
 
@@ -699,6 +719,7 @@ class Tensor:
     # Shape manipulation
     # ------------------------------------------------------------------ #
     def reshape(self, *shape: int) -> "Tensor":
+        """Reshaped tensor over the same data."""
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         out_data = self.data.reshape(shape)
@@ -710,6 +731,7 @@ class Tensor:
         return _tape_record(out, "reshape", (self,))
 
     def transpose(self, axes: Optional[Tuple[int, ...]] = None) -> "Tensor":
+        """Axes-permuted tensor (axes reversed when ``None``)."""
         out_data = self.data.transpose(axes)
 
         def backward(grad: np.ndarray, self_t=self, ax=axes) -> None:

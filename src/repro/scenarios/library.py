@@ -60,6 +60,7 @@ from .base import (
 )
 
 __all__ = [
+    "mix_populations",
     "OverlapViolationScenario",
     "HiddenConfoundingScenario",
     "OutcomeNoiseScenario",
@@ -103,6 +104,7 @@ class OverlapViolationScenario(Scenario):
     eta: float = 0.05
 
     def apply(self, train: CausalDataset, tests: Tests, severity: float, seed: int) -> Applied:
+        """Sharpen propensities toward 0/1 as severity grows."""
         generator = self.make_generator(seed)
         scale = 1.0 + severity * (self.logit_scale - 1.0)
         rng = np.random.default_rng(seed + 77_001)
@@ -163,12 +165,14 @@ class HiddenConfoundingScenario(Scenario):
     stage = STAGE_COVARIATE_VIEW
 
     def withheld_count(self, severity: float) -> int:
+        """How many confounder columns to withhold at this severity."""
         num_confounders = self.dims[1]
         if severity == 0.0:
             return 0
         return max(1, int(np.ceil(severity * num_confounders)))
 
     def apply(self, train: CausalDataset, tests: Tests, severity: float, seed: int) -> Applied:
+        """Drop withheld confounder columns from the observed X."""
         roles = train.feature_roles
         num_hidden = self.withheld_count(severity)
         rng = np.random.default_rng(seed + 77_002)
@@ -221,9 +225,11 @@ class OutcomeNoiseScenario(Scenario):
     df_severe: float = 2.5
 
     def noise_df(self, severity: float) -> float:
+        """Student-t degrees of freedom at this severity."""
         return self.df_benign + severity * (self.df_severe - self.df_benign)
 
     def apply(self, train: CausalDataset, tests: Tests, severity: float, seed: int) -> Applied:
+        """Add heteroscedastic heavy-tailed outcome noise."""
         generator = self.make_generator(seed)
         rng = np.random.default_rng(seed + 77_003)
         df = self.noise_df(severity)
@@ -275,9 +281,11 @@ class SparseHighDimScenario(Scenario):
     density: float = 0.1
 
     def extra_count(self, severity: float) -> int:
+        """Number of sparse nuisance columns at this severity."""
         return int(round(severity * self.max_extra_features))
 
     def apply(self, train: CausalDataset, tests: Tests, severity: float, seed: int) -> Applied:
+        """Append sparse high-dimensional nuisance covariates."""
         num_extra = self.extra_count(severity)
         num_base_features = int(train.num_features)
         rng = np.random.default_rng(seed + 77_004)
@@ -328,6 +336,7 @@ class NonlinearOutcomeScenario(Scenario):
     sine_frequency: float = 3.0
 
     def apply(self, train: CausalDataset, tests: Tests, severity: float, seed: int) -> Applied:
+        """Blend the outcome surface toward a nonlinear alternative."""
         generator = self.make_generator(seed)
         rng = np.random.default_rng(seed + 77_005)
 
@@ -381,9 +390,11 @@ class LabelFlipScenario(Scenario):
     max_flip_rate: float = 0.25
 
     def flip_rate(self, severity: float) -> float:
+        """Label-flip probability at this severity."""
         return severity * self.max_flip_rate
 
     def apply(self, train: CausalDataset, tests: Tests, severity: float, seed: int) -> Applied:
+        """Flip a severity-scaled share of treatments and outcomes."""
         rate = self.flip_rate(severity)
         rng = np.random.default_rng(seed + 77_006)
 
@@ -427,6 +438,7 @@ class InstrumentDecayScenario(Scenario):
     stage = STAGE_STRUCTURAL
 
     def apply(self, train: CausalDataset, tests: Tests, severity: float, seed: int) -> Applied:
+        """Decay the instrument block's influence on treatment."""
         generator = self.make_generator(seed)
         rng = np.random.default_rng(seed + 77_007)
         config = generator.config
@@ -484,9 +496,11 @@ class MeasurementErrorScenario(Scenario):
     max_noise: float = 1.0
 
     def noise_multiplier(self, severity: float) -> float:
+        """Measurement-noise scale at this severity."""
         return severity * self.max_noise
 
     def apply(self, train: CausalDataset, tests: Tests, severity: float, seed: int) -> Applied:
+        """Add Gaussian measurement error to the observed X."""
         rng = np.random.default_rng(seed + 77_008)
         multiplier = self.noise_multiplier(severity)
         noise_record: Dict[str, np.ndarray] = {}
@@ -508,6 +522,45 @@ class MeasurementErrorScenario(Scenario):
             "noise": noise_record,
         }
         return train, tests, metadata
+
+
+def mix_populations(
+    aligned: CausalDataset,
+    flipped: CausalDataset,
+    weight: float,
+    rng: np.random.Generator,
+    environment: str,
+) -> Tuple[CausalDataset, np.ndarray]:
+    """One drift snapshot: each unit drawn from ``flipped`` with ``weight``.
+
+    The per-unit source mask is returned alongside the mixed dataset so
+    callers (scenario metadata, the online stream driver) can report the
+    realised flipped fraction.  Both inputs must be row-aligned (same length
+    and covariate width, as produced by the base biased-sampling protocol).
+    """
+    if len(aligned) != len(flipped):
+        raise ValueError(
+            f"aligned and flipped populations must have the same length, "
+            f"got {len(aligned)} and {len(flipped)}"
+        )
+    from_flipped = rng.uniform(size=len(aligned)) < weight
+
+    def mix(field_aligned: np.ndarray, field_flipped: np.ndarray) -> np.ndarray:
+        if field_aligned.ndim == 1:
+            return np.where(from_flipped, field_flipped, field_aligned)
+        return np.where(from_flipped[:, None], field_flipped, field_aligned)
+
+    mixed = CausalDataset(
+        covariates=mix(aligned.covariates, flipped.covariates),
+        treatment=mix(aligned.treatment, flipped.treatment),
+        outcome=mix(aligned.outcome, flipped.outcome),
+        mu0=mix(aligned.mu0, flipped.mu0),
+        mu1=mix(aligned.mu1, flipped.mu1),
+        environment=environment,
+        feature_roles=dict(aligned.feature_roles),
+        binary_outcome=aligned.binary_outcome,
+    )
+    return mixed, from_flipped
 
 
 @SCENARIO_REGISTRY.register(
@@ -535,6 +588,7 @@ class TemporalDriftScenario(Scenario):
     num_steps: int = 4
 
     def drift_schedule(self, severity: float) -> Tuple[float, ...]:
+        """Per-step mixing weights toward the flipped population."""
         if self.num_steps < 2:
             raise ValueError("temporal drift needs at least two time steps")
         return tuple(
@@ -542,6 +596,7 @@ class TemporalDriftScenario(Scenario):
         )
 
     def apply(self, train: CausalDataset, tests: Tests, severity: float, seed: int) -> Applied:
+        """Mix test environments along the temporal drift schedule."""
         aligned_key = f"rho={BASE_TRAIN_RHO:g}"
         flipped_key = f"rho={-BASE_TRAIN_RHO:g}"
         if aligned_key not in tests or flipped_key not in tests:
@@ -556,24 +611,11 @@ class TemporalDriftScenario(Scenario):
         source_masks: Dict[str, np.ndarray] = {}
 
         def snapshot(step: int, weight: float) -> CausalDataset:
-            from_flipped = rng.uniform(size=len(aligned)) < weight
-            source_masks[f"t={step}"] = from_flipped
-
-            def mix(field_aligned: np.ndarray, field_flipped: np.ndarray) -> np.ndarray:
-                if field_aligned.ndim == 1:
-                    return np.where(from_flipped, field_flipped, field_aligned)
-                return np.where(from_flipped[:, None], field_flipped, field_aligned)
-
-            return CausalDataset(
-                covariates=mix(aligned.covariates, flipped.covariates),
-                treatment=mix(aligned.treatment, flipped.treatment),
-                outcome=mix(aligned.outcome, flipped.outcome),
-                mu0=mix(aligned.mu0, flipped.mu0),
-                mu1=mix(aligned.mu1, flipped.mu1),
-                environment=f"t={step}",
-                feature_roles=dict(aligned.feature_roles),
-                binary_outcome=aligned.binary_outcome,
+            mixed, from_flipped = mix_populations(
+                aligned, flipped, weight, rng, environment=f"t={step}"
             )
+            source_masks[f"t={step}"] = from_flipped
+            return mixed
 
         drifted = {
             f"t={step}": snapshot(step, weight) for step, weight in enumerate(schedule)
@@ -612,9 +654,11 @@ class OutcomeSelectionScenario(Scenario):
     max_drop: float = 0.9
 
     def drop_rate(self, severity: float) -> float:
+        """Low-outcome drop probability at this severity."""
         return severity * self.max_drop
 
     def apply(self, train: CausalDataset, tests: Tests, severity: float, seed: int) -> Applied:
+        """Resample training units with outcome-dependent selection."""
         rng = np.random.default_rng(seed + 77_010)
         rate = self.drop_rate(severity)
         at_risk = train.outcome < train.outcome.mean()
@@ -702,9 +746,11 @@ class CompoundScenario(Scenario):
 
     @property
     def stage(self) -> int:  # type: ignore[override]
+        """Latest stage across the composed components."""
         return max(part.stage for part in self.parts)
 
     def apply(self, train: CausalDataset, tests: Tests, severity: float, seed: int) -> Applied:
+        """Apply each component in stage order at the shared severity."""
         component_metadata: Dict[str, object] = {}
         for part in self.parts:
             train, tests, part_metadata = part.apply(train, tests, severity, seed)
@@ -716,6 +762,7 @@ class CompoundScenario(Scenario):
         return train, tests, metadata
 
     def describe(self) -> Dict[str, object]:
+        """Registry description plus the component list."""
         description = super().describe()
         description["components"] = list(self.components)
         return description

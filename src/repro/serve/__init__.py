@@ -10,6 +10,13 @@ Three layers, bottom to top:
 * :class:`ServingFrontend` — concurrent multi-worker server that coalesces
   *cross-request* traffic into fused batches under a batching deadline.
 
+On top of those sits the drift-aware online layer (:mod:`repro.serve.online`):
+:class:`DriftMonitor` watches a sliding window of served covariates against
+the live model's training population, and :class:`OnlineServingLoop` reacts
+to its triggers with a warm incremental refit, a registry hot swap, and an
+automatic rollback when the post-swap drift score is worse than the one
+that triggered the refit.  See ``docs/online-serving.md``.
+
 Quickstart::
 
     from repro.serve import ServingFrontend
@@ -24,6 +31,18 @@ Quickstart::
 """
 
 from .cache import LRUCache
+from .online import (
+    DriftCheck,
+    DriftMonitor,
+    DriftSchedule,
+    DriftStream,
+    OnlineEvent,
+    OnlineRunReport,
+    OnlineServingLoop,
+    OnlineStepRecord,
+    StreamBatch,
+    drift_stream,
+)
 from .registry import ModelRegistry, ModelVersion
 from .server import FrontendStats, ServingFrontend
 from .service import PredictionService
@@ -37,4 +56,14 @@ __all__ = [
     "ModelVersion",
     "LRUCache",
     "ModelStats",
+    "DriftSchedule",
+    "DriftStream",
+    "StreamBatch",
+    "drift_stream",
+    "DriftMonitor",
+    "DriftCheck",
+    "OnlineServingLoop",
+    "OnlineStepRecord",
+    "OnlineEvent",
+    "OnlineRunReport",
 ]

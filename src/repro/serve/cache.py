@@ -51,6 +51,7 @@ class LRUCache:
             self.evictions += 1
 
     def clear(self) -> None:
+        """Drop every cached entry."""
         self._store.clear()
 
     def __len__(self) -> int:
@@ -61,5 +62,6 @@ class LRUCache:
 
     @property
     def hit_rate(self) -> float:
+        """Hits over total lookups (0 when empty)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0

@@ -83,6 +83,7 @@ class ModelVersion:
 
     @property
     def state(self) -> str:
+        """Lifecycle state: ``live``, ``draining`` or ``retired``."""
         if self.live:
             return "live"
         return "draining" if self.inflight > 0 else "retired"
@@ -259,6 +260,7 @@ class ModelRegistry:
     # ------------------------------------------------------------------ #
     @property
     def names(self) -> List[str]:
+        """Names with at least one deployed version."""
         with self._lock:
             return list(self._models)
 

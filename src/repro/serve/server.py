@@ -77,6 +77,7 @@ class FrontendStats:
         self.rollbacks = 0
 
     def record_batch(self, num_requests: int, rows: int, latencies: List[float]) -> None:
+        """Count one fused batch and its request latencies."""
         with self._lock:
             self.batch_sizes[rows] += 1
             # Each record() call counts one request; rows/batches are
@@ -87,18 +88,22 @@ class FrontendStats:
             self._latency.batches += 1
 
     def record_failures(self, count: int) -> None:
+        """Count ``count`` failed requests."""
         with self._lock:
             self.failed_requests += count
 
     def record_deploy(self) -> None:
+        """Count one deploy."""
         with self._lock:
             self.deploys += 1
 
     def record_rollback(self) -> None:
+        """Count one rollback."""
         with self._lock:
             self.rollbacks += 1
 
     def summary(self) -> Dict[str, object]:
+        """Aggregate counters and latency percentiles as a dict."""
         with self._lock:
             batches = sum(self.batch_sizes.values())
             rows = sum(size * count for size, count in self.batch_sizes.items())
@@ -238,6 +243,7 @@ class ServingFrontend:
         model: Optional[str] = None,
         timeout: Optional[float] = None,
     ) -> np.ndarray:
+        """Blocking convenience wrapper: submit one request and wait for its ITE."""
         return self.predict(covariates, model=model, timeout=timeout)["ite"]
 
     # ------------------------------------------------------------------ #

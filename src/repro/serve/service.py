@@ -135,13 +135,16 @@ class PredictionService:
         return self.registry.rollback(name)
 
     def unload_model(self, name: str) -> None:
+        """Retire every version of ``name``."""
         self.registry.undeploy(name)
 
     @property
     def model_names(self) -> List[str]:
+        """Names of the deployed models."""
         return self.registry.names
 
     def model(self, name: Optional[str] = None) -> HTEEstimator:
+        """The live estimator for ``name`` (the only deployed model when unnamed)."""
         return self.registry.live(name).estimator
 
     def model_report(self, name: str) -> List[Dict[str, object]]:

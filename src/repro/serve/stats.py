@@ -50,10 +50,12 @@ class ModelStats:
 
     @property
     def throughput_rows_per_second(self) -> float:
+        """Served rows per second of predict time."""
         return self.rows / self.total_seconds if self.total_seconds > 0 else 0.0
 
     @property
     def cache_hit_rate(self) -> float:
+        """Cache hits over total lookups (0 when empty)."""
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 

@@ -95,3 +95,60 @@ class TestFitPredictEvaluate:
         np.testing.assert_allclose(
             first.predict_ite(small_ood.covariates), second.predict_ite(small_ood.covariates)
         )
+
+
+class TestRefit:
+    def test_refit_requires_fitted_for_warm_start(self, fast_config, small_train):
+        estimator = HTEEstimator(backbone="tarnet", config=fast_config)
+        with pytest.raises(RuntimeError):
+            estimator.refit(small_train, init="fitted", epochs=5)
+
+    def test_warm_refit_moves_parameters(self, fast_config, small_train, small_ood):
+        estimator = HTEEstimator(backbone="tarnet", config=fast_config, seed=0)
+        estimator.fit(small_train)
+        before = estimator.predict_ite(small_ood.covariates).copy()
+        estimator.refit(small_ood, init="fitted", epochs=5)
+        after = estimator.predict_ite(small_ood.covariates)
+        assert estimator.is_fitted
+        assert not np.allclose(before, after)
+
+    def test_cold_refit_matches_fresh_fit(self, fast_config, small_train, small_ood):
+        refitted = HTEEstimator(backbone="tarnet", config=fast_config, seed=3)
+        refitted.fit(small_ood)
+        refitted.refit(small_train, init="fresh")
+        fresh = HTEEstimator(backbone="tarnet", config=fast_config, seed=3)
+        fresh.fit(small_train)
+        np.testing.assert_allclose(
+            refitted.predict_ite(small_ood.covariates),
+            fresh.predict_ite(small_ood.covariates),
+        )
+
+    def test_refit_validates_init(self, fast_config, small_train):
+        estimator = HTEEstimator(backbone="tarnet", config=fast_config)
+        estimator.fit(small_train)
+        with pytest.raises(ValueError, match="init"):
+            estimator.refit(small_train, init="nope")
+
+    def test_warm_refit_rejects_feature_mismatch(
+        self, fast_config, small_train, tiny_continuous_dataset
+    ):
+        estimator = HTEEstimator(backbone="tarnet", config=fast_config)
+        estimator.fit(small_train)
+        with pytest.raises(ValueError, match="features"):
+            estimator.refit(tiny_continuous_dataset, init="fitted", epochs=5)
+
+    def test_refit_validates_epochs(self, fast_config, small_train):
+        estimator = HTEEstimator(backbone="tarnet", config=fast_config)
+        estimator.fit(small_train)
+        with pytest.raises(ValueError, match="epochs"):
+            estimator.refit(small_train, init="fitted", epochs=0)
+
+    def test_deepcopy_isolates_refit(self, fast_config, small_train, small_ood):
+        import copy
+
+        original = HTEEstimator(backbone="tarnet", config=fast_config, seed=0)
+        original.fit(small_train)
+        before = original.predict_ite(small_ood.covariates).copy()
+        candidate = copy.deepcopy(original)
+        candidate.refit(small_ood, init="fitted", epochs=5)
+        np.testing.assert_array_equal(original.predict_ite(small_ood.covariates), before)

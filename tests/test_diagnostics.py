@@ -217,3 +217,53 @@ class TestWeightDiagnostics:
     def test_balance_improvement_validation(self, small_train):
         with pytest.raises(ValueError):
             balance_improvement(small_train, np.ones(3))
+
+
+class TestInsufficientWindowSentinel:
+    """The streaming degrade path: NaN sentinel instead of ValueError."""
+
+    def test_auc_nan_below_min_rows(self, rng):
+        reference = rng.normal(size=(200, 4))
+        window = rng.normal(size=(10, 4))
+        auc = domain_classifier_auc(
+            reference, window, min_rows=32, on_insufficient="nan"
+        )
+        assert np.isnan(auc)
+
+    def test_auc_raise_below_min_rows(self, rng):
+        reference = rng.normal(size=(200, 4))
+        with pytest.raises(ValueError, match="at least 32 rows"):
+            domain_classifier_auc(reference, rng.normal(size=(10, 4)), min_rows=32)
+
+    def test_auc_measures_once_floor_reached(self, rng):
+        reference = rng.normal(size=(200, 4))
+        window = rng.normal(size=(32, 4))
+        auc = domain_classifier_auc(reference, window, min_rows=32, on_insufficient="nan")
+        assert 0.5 <= auc <= 1.0
+
+    def test_auc_empty_side_still_raises_by_default(self, rng):
+        with pytest.raises(ValueError, match="at least one row"):
+            domain_classifier_auc(np.empty((0, 4)), rng.normal(size=(10, 4)))
+
+    def test_auc_invalid_policy(self, rng):
+        rows = rng.normal(size=(10, 3))
+        with pytest.raises(ValueError, match="on_insufficient"):
+            domain_classifier_auc(rows, rows, on_insufficient="ignore")
+
+    def test_moment_shift_nan_record(self, rng):
+        record = moment_shift_score(
+            np.empty((0, 3)), rng.normal(size=(10, 3)), on_insufficient="nan"
+        )
+        assert np.isnan(record["aggregate"])
+        assert np.isnan(record["per_feature"]).all()
+        assert len(record["most_shifted_features"]) == 0
+
+    def test_assess_ood_level_sentinel(self, small_protocol):
+        from repro.diagnostics import INSUFFICIENT_WINDOW
+
+        train = small_protocol["train"]
+        tiny = small_protocol["test_environments"][2.5].subset(np.arange(5))
+        report = assess_ood_level(train, tiny, min_rows=32)
+        assert report.severity == INSUFFICIENT_WINDOW
+        assert np.isnan(report.domain_auc) and np.isnan(report.moment_score)
+        assert report.as_dict()["most_shifted_features"] == []
